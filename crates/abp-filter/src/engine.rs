@@ -1,0 +1,564 @@
+//! The token-indexed classification engine.
+
+use crate::hiding::{selectors_for, HidingRule};
+use crate::matcher::{host_span, matches};
+use crate::rule::NetFilter;
+use crate::subscription::FilterList;
+use crate::tokenizer::{filter_token, url_tokens};
+use http_model::{is_third_party, ContentCategory, Url};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a list loaded into an [`Engine`], in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ListId(pub usize);
+
+/// A request to classify: URL, optional page context, content category.
+///
+/// This is exactly the triple the paper says libadblockplus needs (§3.1):
+/// *the requested URL itself, the rest of URLs in the Web page that
+/// triggered the request, and the type of the content*. The "rest of URLs"
+/// reduces, for matching purposes, to the page (source) URL that determines
+/// `$domain=` applicability and third-partyness.
+#[derive(Debug, Clone, Copy)]
+pub struct Request<'a> {
+    /// The URL being requested.
+    pub url: &'a Url,
+    /// The page the request originates from (from the referrer map).
+    pub source_url: Option<&'a Url>,
+    /// Inferred content category.
+    pub category: ContentCategory,
+}
+
+/// A reference to a filter that matched: which list and which rule text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterRef {
+    /// The list the filter came from.
+    pub list: ListId,
+    /// The raw filter line.
+    pub filter: String,
+}
+
+/// Result of classifying one request.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Classification {
+    /// Blocking matches, at most one per list, in list order.
+    pub blocking: Vec<FilterRef>,
+    /// First exception (whitelist) match, if any.
+    pub exception: Option<FilterRef>,
+    /// True when the exception is a `$document` rule matching the *page*,
+    /// which whitelists every request on it.
+    pub page_whitelisted: bool,
+}
+
+impl Classification {
+    /// The paper's definition of an "ad request" (§6 footnote): blacklisted
+    /// by any list **or** whitelisted by an exception rule.
+    pub fn is_ad(&self) -> bool {
+        !self.blocking.is_empty() || self.exception.is_some()
+    }
+
+    /// Would Adblock Plus block this request (a blacklist hit with no
+    /// applicable exception)?
+    pub fn would_block(&self) -> bool {
+        !self.blocking.is_empty() && self.exception.is_none() && !self.page_whitelisted
+    }
+
+    /// True when an exception whitelists a request that at least one
+    /// blacklist would have blocked — the §7.3 "matches the blacklist"
+    /// subset of whitelisted traffic.
+    pub fn whitelisted_overriding_block(&self) -> bool {
+        self.exception.is_some() && !self.blocking.is_empty()
+    }
+
+    /// The list of the first blocking match, if any.
+    pub fn primary_list(&self) -> Option<ListId> {
+        self.blocking.first().map(|f| f.list)
+    }
+
+    /// Did a blocking rule from `list` match?
+    pub fn blocked_by_list(&self, list: ListId) -> bool {
+        self.blocking.iter().any(|f| f.list == list)
+    }
+}
+
+/// One compiled filter plus its provenance.
+#[derive(Debug, Clone)]
+struct Entry {
+    list: ListId,
+    filter: NetFilter,
+}
+
+/// Token-hash indexed filter store.
+#[derive(Debug, Default, Clone)]
+struct TokenIndex {
+    by_token: HashMap<u64, Vec<Entry>>,
+    /// Filters with no usable token: always evaluated.
+    untokenized: Vec<Entry>,
+}
+
+impl TokenIndex {
+    fn insert(&mut self, entry: Entry) {
+        match filter_token(entry.filter.pattern.literals()) {
+            Some(tok) => self.by_token.entry(tok).or_default().push(entry),
+            None => self.untokenized.push(entry),
+        }
+    }
+
+    /// Visit every candidate entry for a URL's token set.
+    fn candidates<'a>(&'a self, tokens: &'a [u64]) -> impl Iterator<Item = &'a Entry> {
+        tokens
+            .iter()
+            .filter_map(move |t| self.by_token.get(t))
+            .flatten()
+            .chain(self.untokenized.iter())
+    }
+
+    fn len(&self) -> usize {
+        self.by_token.values().map(Vec::len).sum::<usize>() + self.untokenized.len()
+    }
+}
+
+/// The filter engine: loaded lists + token indexes.
+///
+/// Matching semantics follow Adblock Plus: exception rules override blocking
+/// rules; `$document` exceptions matching the page whitelist all requests on
+/// that page; list order only affects which blocking match is "primary".
+#[derive(Debug, Default, Clone)]
+pub struct Engine {
+    lists: Vec<String>,
+    blocking: TokenIndex,
+    exceptions: TokenIndex,
+    /// `$document` exception rules, matched against page URLs.
+    document_exceptions: Vec<Entry>,
+    hiding: Vec<HidingRule>,
+    /// Literal query fragments appearing in any filter — exported so the URL
+    /// normalizer never rewrites values that rules depend on (§3.1).
+    query_literals: Vec<String>,
+}
+
+impl Engine {
+    /// An engine with no lists.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Load a filter list; returns its [`ListId`]. Lists are consulted in
+    /// load order.
+    pub fn add_list(&mut self, list: FilterList) -> ListId {
+        let id = ListId(self.lists.len());
+        self.lists.push(list.name.clone());
+        for f in list.blocking {
+            for lit in f.query_literals() {
+                self.query_literals.push(lit.to_string());
+            }
+            self.blocking.insert(Entry {
+                list: id,
+                filter: f,
+            });
+        }
+        for f in list.exceptions {
+            for lit in f.query_literals() {
+                self.query_literals.push(lit.to_string());
+            }
+            if f.options.document {
+                self.document_exceptions.push(Entry {
+                    list: id,
+                    filter: f,
+                });
+            } else {
+                self.exceptions.insert(Entry {
+                    list: id,
+                    filter: f,
+                });
+            }
+        }
+        self.hiding.extend(list.hiding);
+        id
+    }
+
+    /// Names of the loaded lists in id order.
+    pub fn list_names(&self) -> &[String] {
+        &self.lists
+    }
+
+    /// Name of one list.
+    pub fn list_name(&self, id: ListId) -> &str {
+        &self.lists[id.0]
+    }
+
+    /// Number of network filters loaded.
+    pub fn filter_count(&self) -> usize {
+        self.blocking.len() + self.exceptions.len() + self.document_exceptions.len()
+    }
+
+    /// The query-string literals used by any rule (see the URL normalizer).
+    pub fn query_literals(&self) -> &[String] {
+        &self.query_literals
+    }
+
+    /// Classify a request. See [`Classification`] for the verdict structure.
+    pub fn classify(&self, req: &Request<'_>) -> Classification {
+        let url_string = req.url.as_string().to_ascii_lowercase();
+        let (hs, he) = host_span(&url_string);
+        let tokens = url_tokens(&url_string);
+        let page_host = req.source_url.map(|u| u.host());
+        let third_party = page_host
+            .map(|ph| is_third_party(req.url.host(), ph))
+            .unwrap_or(false);
+
+        let applies = |e: &Entry| -> bool {
+            let o = &e.filter.options;
+            o.applies_to_type(req.category)
+                && o.applies_on_domain(page_host)
+                && o.applies_to_party(third_party)
+                && matches(&e.filter.pattern, &url_string, hs, he)
+        };
+
+        // Blocking: record at most one match per list, in list order.
+        let mut blocking: Vec<FilterRef> = Vec::new();
+        for e in self.blocking.candidates(&tokens) {
+            if blocking.iter().any(|f| f.list == e.list) {
+                continue;
+            }
+            if applies(e) {
+                blocking.push(FilterRef {
+                    list: e.list,
+                    filter: e.filter.raw.clone(),
+                });
+            }
+        }
+        blocking.sort_by_key(|f| f.list);
+
+        // Exceptions against the request URL.
+        let mut exception = None;
+        for e in self.exceptions.candidates(&tokens) {
+            if applies(e) {
+                exception = Some(FilterRef {
+                    list: e.list,
+                    filter: e.filter.raw.clone(),
+                });
+                break;
+            }
+        }
+
+        // `$document` exceptions against the page URL (and, for document
+        // requests, against the request itself).
+        let mut page_whitelisted = false;
+        if exception.is_none() {
+            let doc_target: Option<&Url> = match req.category {
+                ContentCategory::Document => Some(req.url),
+                _ => req.source_url,
+            };
+            if let Some(page) = doc_target {
+                let page_string = page.as_string().to_ascii_lowercase();
+                let (phs, phe) = host_span(&page_string);
+                for e in &self.document_exceptions {
+                    if matches(&e.filter.pattern, &page_string, phs, phe) {
+                        exception = Some(FilterRef {
+                            list: e.list,
+                            filter: e.filter.raw.clone(),
+                        });
+                        page_whitelisted = req.category != ContentCategory::Document;
+                        break;
+                    }
+                }
+            }
+        }
+
+        Classification {
+            blocking,
+            exception,
+            page_whitelisted,
+        }
+    }
+
+    /// Element-hiding selectors active on a page host.
+    pub fn hiding_selectors(&self, host: &str) -> Vec<&str> {
+        selectors_for(&self.hiding, host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscription::FilterList;
+
+    fn engine_with(lists: &[(&str, &str)]) -> (Engine, Vec<ListId>) {
+        let mut e = Engine::new();
+        let ids = lists
+            .iter()
+            .map(|(name, text)| e.add_list(FilterList::parse(name, text)))
+            .collect();
+        (e, ids)
+    }
+
+    fn classify(e: &Engine, url: &str, page: Option<&str>, cat: ContentCategory) -> Classification {
+        let u = Url::parse(url).unwrap();
+        let p = page.map(|p| Url::parse(p).unwrap());
+        e.classify(&Request {
+            url: &u,
+            source_url: p.as_ref(),
+            category: cat,
+        })
+    }
+
+    #[test]
+    fn basic_block() {
+        let (e, ids) = engine_with(&[("easylist", "||ads.example^\n")]);
+        let c = classify(
+            &e,
+            "http://ads.example/banner.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert!(c.would_block());
+        assert!(c.is_ad());
+        assert_eq!(c.primary_list(), Some(ids[0]));
+    }
+
+    #[test]
+    fn no_match() {
+        let (e, _) = engine_with(&[("easylist", "||ads.example^\n")]);
+        let c = classify(
+            &e,
+            "http://cdn.example.net/logo.png",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert!(!c.is_ad());
+        assert!(!c.would_block());
+    }
+
+    #[test]
+    fn exception_overrides_block() {
+        let (e, ids) = engine_with(&[
+            ("easylist", "||ads.example^\n"),
+            ("acceptable-ads", "@@||ads.example/nice/\n"),
+        ]);
+        let c = classify(
+            &e,
+            "http://ads.example/nice/banner.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert!(!c.would_block());
+        assert!(c.is_ad());
+        assert!(c.whitelisted_overriding_block());
+        assert_eq!(c.exception.as_ref().unwrap().list, ids[1]);
+        assert!(c.blocked_by_list(ids[0]));
+    }
+
+    #[test]
+    fn whitelist_without_blacklist_hit() {
+        // §7.3: only 57.3% of whitelisted requests would have been
+        // blacklisted — the rest match no blocking rule at all.
+        let (e, _) = engine_with(&[
+            ("easylist", "||ads.example^\n"),
+            ("acceptable-ads", "@@||fonts.gstatic.example^\n"),
+        ]);
+        let c = classify(
+            &e,
+            "http://fonts.gstatic.example/font.woff2",
+            Some("http://pub.com/"),
+            ContentCategory::Font,
+        );
+        assert!(c.is_ad());
+        assert!(!c.would_block());
+        assert!(!c.whitelisted_overriding_block());
+    }
+
+    #[test]
+    fn document_exception_whitelists_page_requests() {
+        let (e, _) = engine_with(&[
+            ("easylist", "/adframe.\n"),
+            ("acceptable-ads", "@@||gstatic.example^$document\n"),
+        ]);
+        // Request inside a whitelisted page: blocked rule matches but page
+        // whitelist wins.
+        let c = classify(
+            &e,
+            "http://third.party/adframe.js",
+            Some("http://sub.gstatic.example/page"),
+            ContentCategory::Script,
+        );
+        assert!(!c.would_block());
+        assert!(c.page_whitelisted);
+        // The same request from an ordinary page is blocked.
+        let c2 = classify(
+            &e,
+            "http://third.party/adframe.js",
+            Some("http://ordinary.com/"),
+            ContentCategory::Script,
+        );
+        assert!(c2.would_block());
+    }
+
+    #[test]
+    fn document_exception_on_document_request() {
+        let (e, _) = engine_with(&[
+            ("easylist", "||gstatic.example^\n"),
+            ("acceptable-ads", "@@||gstatic.example^$document\n"),
+        ]);
+        let c = classify(
+            &e,
+            "http://gstatic.example/page.html",
+            None,
+            ContentCategory::Document,
+        );
+        assert!(!c.would_block());
+        assert!(c.exception.is_some());
+        assert!(!c.page_whitelisted);
+    }
+
+    #[test]
+    fn per_list_attribution() {
+        let (e, ids) = engine_with(&[
+            ("easylist", "/banner/\n"),
+            ("easyprivacy", "/track/\n/banner/\n"),
+        ]);
+        // URL matching rules in both lists: one FilterRef per list, primary
+        // attribution goes to the first loaded list (EasyList).
+        let c = classify(
+            &e,
+            "http://x.com/banner/img.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert_eq!(c.blocking.len(), 2);
+        assert_eq!(c.primary_list(), Some(ids[0]));
+        // Tracker URL only matches EasyPrivacy.
+        let c2 = classify(
+            &e,
+            "http://x.com/track/pixel.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert_eq!(c2.primary_list(), Some(ids[1]));
+    }
+
+    #[test]
+    fn both_lists_match_distinct_rules() {
+        let (e, ids) = engine_with(&[
+            ("easylist", "/ads/\n"),
+            ("easyprivacy", "/adspixel\n"),
+        ]);
+        let c = classify(
+            &e,
+            "http://x.com/ads/adspixel.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert!(c.blocked_by_list(ids[0]));
+        assert!(c.blocked_by_list(ids[1]));
+        assert_eq!(c.blocking.len(), 2);
+        assert_eq!(c.primary_list(), Some(ids[0]));
+    }
+
+    #[test]
+    fn type_option_respected() {
+        let (e, _) = engine_with(&[("easylist", "||ads.example^$script\n")]);
+        let script = classify(
+            &e,
+            "http://ads.example/x.js",
+            Some("http://pub.com/"),
+            ContentCategory::Script,
+        );
+        assert!(script.would_block());
+        let image = classify(
+            &e,
+            "http://ads.example/x.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert!(!image.would_block());
+    }
+
+    #[test]
+    fn third_party_option_respected() {
+        let (e, _) = engine_with(&[("easylist", "||widgets.example^$third-party\n")]);
+        let third = classify(
+            &e,
+            "http://widgets.example/w.js",
+            Some("http://pub.com/"),
+            ContentCategory::Script,
+        );
+        assert!(third.would_block());
+        let first = classify(
+            &e,
+            "http://widgets.example/w.js",
+            Some("http://www.widgets.example/"),
+            ContentCategory::Script,
+        );
+        assert!(!first.would_block());
+    }
+
+    #[test]
+    fn domain_option_respected() {
+        let (e, _) = engine_with(&[("easylist", "/sponsor^$domain=news.example\n")]);
+        let on_news = classify(
+            &e,
+            "http://cdn.example/sponsor/x.png",
+            Some("http://news.example/"),
+            ContentCategory::Image,
+        );
+        assert!(on_news.would_block());
+        let elsewhere = classify(
+            &e,
+            "http://cdn.example/sponsor/x.png",
+            Some("http://blog.example/"),
+            ContentCategory::Image,
+        );
+        assert!(!elsewhere.would_block());
+        // No page context: domain-restricted rules cannot apply.
+        let no_ctx = classify(
+            &e,
+            "http://cdn.example/sponsor/x.png",
+            None,
+            ContentCategory::Image,
+        );
+        assert!(!no_ctx.would_block());
+    }
+
+    #[test]
+    fn untokenized_filters_still_checked() {
+        // A pattern with no >=3 char alnum run cannot be token indexed.
+        let (e, _) = engine_with(&[("easylist", "/a^\n")]);
+        let c = classify(
+            &e,
+            "http://x.com/a/",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert!(c.would_block());
+    }
+
+    #[test]
+    fn query_literals_exported() {
+        let (e, _) = engine_with(&[(
+            "easylist",
+            "@@*jsp?callback=aslHandleAds*\n/track?id=*\n",
+        )]);
+        let lits = e.query_literals();
+        assert!(lits.iter().any(|l| l.contains("callback=aslhandleads")));
+        assert!(lits.iter().any(|l| l.contains("track?id=")));
+    }
+
+    #[test]
+    fn hiding_selectors_through_engine() {
+        let (e, _) = engine_with(&[("easylist", "##.adbox\nexample.com#@#.adbox\n")]);
+        assert_eq!(e.hiding_selectors("other.com"), vec![".adbox"]);
+        assert!(e.hiding_selectors("example.com").is_empty());
+    }
+
+    #[test]
+    fn filter_count_and_names() {
+        let (e, ids) = engine_with(&[
+            ("easylist", "||a.com^\n@@||b.com^\n"),
+            ("easyprivacy", "||t.com^\n"),
+        ]);
+        assert_eq!(e.filter_count(), 3);
+        assert_eq!(e.list_name(ids[0]), "easylist");
+        assert_eq!(e.list_names(), &["easylist".to_string(), "easyprivacy".to_string()]);
+    }
+}

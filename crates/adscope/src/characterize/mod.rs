@@ -1,0 +1,9 @@
+//! Ad-traffic characterization: the analyses of §7 and §8.
+
+pub mod ases;
+pub mod content;
+pub mod rtb;
+pub mod servers;
+pub mod sizes;
+pub mod timeseries;
+pub mod whitelist;

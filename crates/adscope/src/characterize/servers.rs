@@ -1,0 +1,284 @@
+//! Server-side infrastructure analysis (§8.1).
+
+use crate::classify::ListKind;
+use crate::pipeline::ClassifiedTrace;
+use std::collections::HashMap;
+
+/// Per-server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// All requests served.
+    pub requests: u64,
+    /// Requests blacklisted by EasyList (or a derivative).
+    pub easylist_objects: u64,
+    /// Requests blacklisted by EasyPrivacy.
+    pub easyprivacy_objects: u64,
+    /// Ad requests under the paper's full definition.
+    pub ad_objects: u64,
+}
+
+/// The §8.1 aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStudy {
+    /// Per-server counters keyed by server IP.
+    pub servers: HashMap<u32, ServerCounters>,
+}
+
+impl ServerStudy {
+    /// Build from a classified trace.
+    pub fn from_trace(trace: &ClassifiedTrace) -> ServerStudy {
+        let mut servers: HashMap<u32, ServerCounters> = HashMap::new();
+        for r in &trace.requests {
+            let c = servers.entry(r.server_ip).or_default();
+            c.requests += 1;
+            if r.label.blocked_by(ListKind::EasyList) || r.label.blocked_by(ListKind::Regional) {
+                c.easylist_objects += 1;
+            }
+            if r.label.blocked_by(ListKind::EasyPrivacy) {
+                c.easyprivacy_objects += 1;
+            }
+            if r.label.is_ad() {
+                c.ad_objects += 1;
+            }
+        }
+        ServerStudy { servers }
+    }
+
+    /// Total distinct servers.
+    pub fn total_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Servers serving at least one EasyList object.
+    pub fn easylist_servers(&self) -> usize {
+        self.servers
+            .values()
+            .filter(|c| c.easylist_objects > 0)
+            .count()
+    }
+
+    /// Servers serving at least one EasyPrivacy object.
+    pub fn easyprivacy_servers(&self) -> usize {
+        self.servers
+            .values()
+            .filter(|c| c.easyprivacy_objects > 0)
+            .count()
+    }
+
+    /// Servers matching both lists.
+    pub fn both_lists_servers(&self) -> usize {
+        self.servers
+            .values()
+            .filter(|c| c.easylist_objects > 0 && c.easyprivacy_objects > 0)
+            .count()
+    }
+
+    /// Servers with at least one ad object (the "21.1 % of all servers"
+    /// figure).
+    pub fn servers_with_ads(&self) -> usize {
+        self.servers.values().filter(|c| c.ad_objects > 0).count()
+    }
+
+    /// Share of all *non-ad* objects served by servers that also serve ads
+    /// (the 54.3 % observation).
+    pub fn nonad_share_of_ad_serving_infra(&self) -> f64 {
+        let total_nonad: u64 = self
+            .servers
+            .values()
+            .map(|c| c.requests - c.ad_objects)
+            .sum();
+        let from_mixed: u64 = self
+            .servers
+            .values()
+            .filter(|c| c.ad_objects > 0)
+            .map(|c| c.requests - c.ad_objects)
+            .sum();
+        stats::pct(from_mixed, total_nonad)
+    }
+
+    /// Servers whose ad share exceeds `threshold_pct` — "exclusive" ad (or
+    /// tracking) servers in the paper's sense.
+    pub fn exclusive_servers(&self, threshold_pct: f64) -> ExclusiveServers {
+        let mut ad_servers = 0usize;
+        let mut ad_objects_from_exclusive = 0u64;
+        let mut tracking_servers = 0usize;
+        let mut ep_objects_from_tracking = 0u64;
+        let total_ads: u64 = self.servers.values().map(|c| c.ad_objects).sum();
+        let total_ep: u64 = self.servers.values().map(|c| c.easyprivacy_objects).sum();
+        for c in self.servers.values() {
+            if c.requests == 0 {
+                continue;
+            }
+            let ad_share = c.ad_objects as f64 / c.requests as f64 * 100.0;
+            if ad_share >= threshold_pct {
+                ad_servers += 1;
+                ad_objects_from_exclusive += c.ad_objects;
+            }
+            let ep_share = c.easyprivacy_objects as f64 / c.requests as f64 * 100.0;
+            if ep_share >= threshold_pct {
+                tracking_servers += 1;
+                ep_objects_from_tracking += c.easyprivacy_objects;
+            }
+        }
+        ExclusiveServers {
+            ad_servers,
+            ad_object_share_pct: stats::pct(ad_objects_from_exclusive, total_ads),
+            tracking_servers,
+            tracking_object_share_pct: stats::pct(ep_objects_from_tracking, total_ep),
+        }
+    }
+
+    /// The per-server EasyList-object distribution (median 7 / mean 438 /
+    /// p90–p99 in the paper), over servers with ≥1 EasyList object.
+    pub fn easylist_distribution(&self) -> stats::Summary {
+        let counts: Vec<u64> = self
+            .servers
+            .values()
+            .filter(|c| c.easylist_objects > 0)
+            .map(|c| c.easylist_objects)
+            .collect();
+        stats::Summary::from_counts(&counts)
+    }
+
+    /// The busiest ad server: `(ip, ad object count)`.
+    pub fn busiest_ad_server(&self) -> Option<(u32, u64)> {
+        self.servers
+            .iter()
+            .map(|(&ip, c)| (ip, c.ad_objects))
+            .max_by_key(|&(_, n)| n)
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+/// Results of the exclusivity analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExclusiveServers {
+    /// Servers whose ad share exceeds the threshold.
+    pub ad_servers: usize,
+    /// Share of all ad objects they deliver (percent).
+    pub ad_object_share_pct: f64,
+    /// Servers whose EasyPrivacy share exceeds the threshold.
+    pub tracking_servers: usize,
+    /// Share of all EasyPrivacy objects they deliver (percent).
+    pub tracking_object_share_pct: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PassiveClassifier;
+    use crate::pipeline::{classify_trace, PipelineOptions};
+    use abp_filter::FilterList;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
+    use http_model::HttpTransaction;
+    use netsim::record::{Trace, TraceMeta, TraceRecord};
+
+    fn tx(server: u32, uri: &str) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts: 0.0,
+            client_ip: 1,
+            server_ip: server,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: "x.example".into(),
+                uri: uri.into(),
+                referer: Some("http://pub.example/".into()),
+                user_agent: Some("UA".into()),
+            },
+            response: ResponseHeaders {
+                status: 200,
+                content_type: Some("image/gif".into()),
+                content_length: Some(100),
+                location: None,
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: 2.0,
+        })
+    }
+
+    fn study(records: Vec<TraceRecord>) -> ServerStudy {
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: 10.0,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        };
+        let c = PassiveClassifier::new(vec![
+            FilterList::parse("easylist", "/banners/\n"),
+            FilterList::parse("easyprivacy", "/pixel/\n"),
+        ]);
+        ServerStudy::from_trace(&classify_trace(&trace, &c, PipelineOptions::default()))
+    }
+
+    #[test]
+    fn counts_by_list() {
+        let s = study(vec![
+            tx(1, "/banners/a.gif"),
+            tx(1, "/pixel/p.gif"),
+            tx(2, "/banners/b.gif"),
+            tx(3, "/logo.png"),
+        ]);
+        assert_eq!(s.total_servers(), 3);
+        assert_eq!(s.easylist_servers(), 2);
+        assert_eq!(s.easyprivacy_servers(), 1);
+        assert_eq!(s.both_lists_servers(), 1);
+        assert_eq!(s.servers_with_ads(), 2);
+    }
+
+    #[test]
+    fn exclusive_detection() {
+        // Server 1: pure ad server (10/10). Server 2: mixed (1/10).
+        let mut records = Vec::new();
+        for _ in 0..10 {
+            records.push(tx(1, "/banners/a.gif"));
+        }
+        records.push(tx(2, "/banners/b.gif"));
+        for _ in 0..9 {
+            records.push(tx(2, "/logo.png"));
+        }
+        let s = study(records);
+        let ex = s.exclusive_servers(90.0);
+        assert_eq!(ex.ad_servers, 1);
+        // 10 of 11 ad objects come from the exclusive server.
+        assert!((ex.ad_object_share_pct - 90.909).abs() < 0.01);
+    }
+
+    #[test]
+    fn mixed_infrastructure_share() {
+        // Server 1 serves ads + content; server 2 only content.
+        let s = study(vec![
+            tx(1, "/banners/a.gif"),
+            tx(1, "/logo.png"),
+            tx(2, "/logo.png"),
+        ]);
+        assert!((s.nonad_share_of_ad_serving_infra() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_and_busiest() {
+        let mut records = Vec::new();
+        for _ in 0..7 {
+            records.push(tx(1, "/banners/a.gif"));
+        }
+        records.push(tx(2, "/banners/b.gif"));
+        let s = study(records);
+        let d = s.easylist_distribution();
+        assert_eq!(d.count, 2);
+        assert_eq!(d.max, 7.0);
+        assert_eq!(s.busiest_ad_server(), Some((1, 7)));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = study(vec![]);
+        assert_eq!(s.total_servers(), 0);
+        assert_eq!(s.busiest_ad_server(), None);
+        assert_eq!(s.easylist_distribution().count, 0);
+    }
+}

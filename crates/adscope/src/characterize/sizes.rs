@@ -1,0 +1,204 @@
+//! Object-size distributions by MIME class, ads vs non-ads (Figure 6).
+
+use crate::pipeline::ClassifiedTrace;
+use stats::LogDensity;
+
+/// The four MIME classes of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MimeClass {
+    /// gif/jpeg/png images.
+    Image,
+    /// html/plain text.
+    Text,
+    /// mp4/flv video.
+    Video,
+    /// xml + flash applications.
+    App,
+}
+
+impl MimeClass {
+    /// All classes.
+    pub const ALL: [MimeClass; 4] = [
+        MimeClass::Image,
+        MimeClass::Text,
+        MimeClass::Video,
+        MimeClass::App,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MimeClass::Image => "Image",
+            MimeClass::Text => "Text",
+            MimeClass::Video => "Video",
+            MimeClass::App => "App",
+        }
+    }
+
+    /// Classify a raw MIME type into a figure class.
+    pub fn from_mime(mime: &str) -> Option<MimeClass> {
+        let essence = mime.split(';').next().unwrap_or("").trim();
+        Some(match essence {
+            "image/gif" | "image/jpeg" | "image/png" => MimeClass::Image,
+            "text/html" | "text/plain" => MimeClass::Text,
+            "video/mp4" | "video/x-flv" => MimeClass::Video,
+            "application/xml" | "application/x-shockwave-flash" => MimeClass::App,
+            _ => return None,
+        })
+    }
+}
+
+/// The densities of one population (ads or non-ads).
+pub struct SizeDensities {
+    /// One density per [`MimeClass::ALL`] entry.
+    pub densities: Vec<(MimeClass, LogDensity)>,
+}
+
+impl SizeDensities {
+    /// Density of a class.
+    pub fn class(&self, class: MimeClass) -> &LogDensity {
+        &self
+            .densities
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("all classes present")
+            .1
+    }
+}
+
+/// Build the Figure 6a (ads) and 6b (non-ads) densities. The x range spans
+/// 1 B .. 100 MB like the paper's axis.
+pub fn size_densities(trace: &ClassifiedTrace) -> (SizeDensities, SizeDensities) {
+    let mk = || -> Vec<(MimeClass, LogDensity)> {
+        MimeClass::ALL
+            .iter()
+            .map(|&c| (c, LogDensity::new(0.0, 8.0, 160, 0.12)))
+            .collect()
+    };
+    let mut ads = mk();
+    let mut nonads = mk();
+    for r in &trace.requests {
+        let Some(mime) = r.content_type.as_deref() else {
+            continue;
+        };
+        let Some(class) = MimeClass::from_mime(mime) else {
+            continue;
+        };
+        let target = if r.label.is_ad() { &mut ads } else { &mut nonads };
+        target
+            .iter_mut()
+            .find(|(c, _)| *c == class)
+            .expect("class present")
+            .1
+            .add(r.bytes as f64);
+    }
+    (
+        SizeDensities { densities: ads },
+        SizeDensities { densities: nonads },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PassiveClassifier;
+    use crate::pipeline::{classify_trace, PipelineOptions};
+    use abp_filter::FilterList;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
+    use http_model::HttpTransaction;
+    use netsim::record::{Trace, TraceMeta, TraceRecord};
+
+    fn tx(uri: &str, ct: &str, bytes: u64) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts: 0.0,
+            client_ip: 1,
+            server_ip: 1,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: "x.example".into(),
+                uri: uri.into(),
+                referer: Some("http://pub.example/".into()),
+                user_agent: Some("UA".into()),
+            },
+            response: ResponseHeaders {
+                status: 200,
+                content_type: Some(ct.into()),
+                content_length: Some(bytes),
+                location: None,
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: 2.0,
+        })
+    }
+
+    fn classified(records: Vec<TraceRecord>) -> ClassifiedTrace {
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: 10.0,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        };
+        let c = PassiveClassifier::new(vec![FilterList::parse("easylist", "/banners/\n")]);
+        classify_trace(&trace, &c, PipelineOptions::default())
+    }
+
+    #[test]
+    fn mime_class_mapping() {
+        assert_eq!(MimeClass::from_mime("image/gif"), Some(MimeClass::Image));
+        assert_eq!(MimeClass::from_mime("text/plain"), Some(MimeClass::Text));
+        assert_eq!(MimeClass::from_mime("video/x-flv"), Some(MimeClass::Video));
+        assert_eq!(
+            MimeClass::from_mime("application/x-shockwave-flash"),
+            Some(MimeClass::App)
+        );
+        assert_eq!(MimeClass::from_mime("font/woff2"), None);
+    }
+
+    #[test]
+    fn ad_pixels_produce_low_image_mode() {
+        let mut records = Vec::new();
+        for _ in 0..200 {
+            records.push(tx("/banners/p.gif", "image/gif", 43));
+        }
+        for _ in 0..200 {
+            records.push(tx("/photo.jpg", "image/jpeg", 40_000));
+        }
+        let t = classified(records);
+        let (ads, nonads) = size_densities(&t);
+        let ad_mode = ads.class(MimeClass::Image).modes(0.5);
+        let nonad_mode = nonads.class(MimeClass::Image).modes(0.5);
+        assert!(!ad_mode.is_empty() && ad_mode[0] < 200.0, "{ad_mode:?}");
+        assert!(
+            !nonad_mode.is_empty() && nonad_mode[0] > 5_000.0,
+            "{nonad_mode:?}"
+        );
+    }
+
+    #[test]
+    fn missing_content_type_skipped() {
+        let t = classified(vec![TraceRecord::Http(HttpTransaction {
+            response: ResponseHeaders {
+                status: 200,
+                content_type: None,
+                content_length: Some(100),
+                location: None,
+            },
+            ..match tx("/x", "image/gif", 1) {
+                TraceRecord::Http(h) => h,
+                _ => unreachable!(),
+            }
+        })]);
+        let (ads, nonads) = size_densities(&t);
+        let total: u64 = MimeClass::ALL
+            .iter()
+            .map(|&c| ads.class(c).total() + nonads.class(c).total())
+            .sum();
+        assert_eq!(total, 0);
+    }
+}

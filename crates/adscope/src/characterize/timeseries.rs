@@ -1,0 +1,193 @@
+//! Time series of ad vs non-ad traffic (Figures 5a/5b).
+
+use crate::classify::Attribution;
+use crate::pipeline::ClassifiedTrace;
+use stats::TimeSeries;
+
+/// Series indices of the Figure 5a request time series.
+pub mod series {
+    /// Non-ad requests.
+    pub const NON_AD: usize = 0;
+    /// EasyList-attributed ad requests.
+    pub const EASYLIST: usize = 1;
+    /// EasyPrivacy-attributed ad requests.
+    pub const EASYPRIVACY: usize = 2;
+    /// Whitelist-only (non-intrusive) ad requests.
+    pub const NON_INTRUSIVE: usize = 3;
+}
+
+/// Build the Figure 5a request-count series (1 h bins by default).
+pub fn request_series(trace: &ClassifiedTrace, bin_secs: u64) -> TimeSeries {
+    let mut ts = TimeSeries::new(
+        trace.meta.duration_secs.ceil() as u64,
+        bin_secs,
+        &["non-ads", "EasyList", "EasyPrivacy", "Non-intrusive"],
+    );
+    for r in &trace.requests {
+        let idx = match r.label.attribution() {
+            None => series::NON_AD,
+            Some(Attribution::EasyList) => series::EASYLIST,
+            Some(Attribution::EasyPrivacy) => series::EASYPRIVACY,
+            Some(Attribution::NonIntrusive) => series::NON_INTRUSIVE,
+        };
+        ts.add_at(idx, r.ts, 1.0);
+    }
+    ts
+}
+
+/// Build the Figure 5b percentage series: per bin, the share of requests
+/// and bytes attributed to EasyList and EasyPrivacy (whitelist-only hits
+/// excluded, exactly like the figure).
+pub struct ShareSeries {
+    /// % of requests attributed to EasyList, per bin.
+    pub easylist_req_pct: Vec<f64>,
+    /// % of requests attributed to EasyPrivacy, per bin.
+    pub easyprivacy_req_pct: Vec<f64>,
+    /// % of bytes attributed to EasyList, per bin.
+    pub easylist_bytes_pct: Vec<f64>,
+    /// % of bytes attributed to EasyPrivacy, per bin.
+    pub easyprivacy_bytes_pct: Vec<f64>,
+    /// Bin width in seconds.
+    pub bin_secs: u64,
+}
+
+/// Compute the Figure 5b shares.
+pub fn share_series(trace: &ClassifiedTrace, bin_secs: u64) -> ShareSeries {
+    let dur = trace.meta.duration_secs.ceil() as u64;
+    let names = ["total", "el", "ep"];
+    let mut reqs = TimeSeries::new(dur, bin_secs, &names);
+    let mut bytes = TimeSeries::new(dur, bin_secs, &names);
+    for r in &trace.requests {
+        reqs.add_at(0, r.ts, 1.0);
+        bytes.add_at(0, r.ts, r.bytes as f64);
+        match r.label.attribution() {
+            Some(Attribution::EasyList) => {
+                reqs.add_at(1, r.ts, 1.0);
+                bytes.add_at(1, r.ts, r.bytes as f64);
+            }
+            Some(Attribution::EasyPrivacy) => {
+                reqs.add_at(2, r.ts, 1.0);
+                bytes.add_at(2, r.ts, r.bytes as f64);
+            }
+            _ => {}
+        }
+    }
+    ShareSeries {
+        easylist_req_pct: reqs.ratio_pct(1, 0),
+        easyprivacy_req_pct: reqs.ratio_pct(2, 0),
+        easylist_bytes_pct: bytes.ratio_pct(1, 0),
+        easyprivacy_bytes_pct: bytes.ratio_pct(2, 0),
+        bin_secs,
+    }
+}
+
+/// Combined EL+EP request share per bin (the curve whose 6–12 % swing the
+/// paper highlights).
+pub fn combined_ad_share(shares: &ShareSeries) -> Vec<f64> {
+    shares
+        .easylist_req_pct
+        .iter()
+        .zip(&shares.easyprivacy_req_pct)
+        .map(|(a, b)| a + b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PassiveClassifier;
+    use crate::pipeline::{classify_trace, PipelineOptions};
+    use abp_filter::FilterList;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
+    use http_model::HttpTransaction;
+    use netsim::record::{Trace, TraceMeta, TraceRecord};
+
+    fn tx(ts: f64, uri: &str, bytes: u64) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts,
+            client_ip: 1,
+            server_ip: 1,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: "x.example".into(),
+                uri: uri.into(),
+                referer: Some("http://pub.example/".into()),
+                user_agent: Some("UA".into()),
+            },
+            response: ResponseHeaders {
+                status: 200,
+                content_type: Some("image/gif".into()),
+                content_length: Some(bytes),
+                location: None,
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: 2.0,
+        })
+    }
+
+    fn classified(records: Vec<TraceRecord>, dur: f64) -> ClassifiedTrace {
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: dur,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 5,
+            },
+            records,
+        };
+        let c = PassiveClassifier::new(vec![
+            FilterList::parse("easylist", "/banners/\n"),
+            FilterList::parse("easyprivacy", "/pixel/\n"),
+            FilterList::parse("acceptable-ads", "@@/nice/\n"),
+        ]);
+        classify_trace(&trace, &c, PipelineOptions::default())
+    }
+
+    #[test]
+    fn request_series_buckets_by_attribution() {
+        let t = classified(
+            vec![
+                tx(0.0, "/logo.png", 1),
+                tx(10.0, "/banners/a.gif", 1),
+                tx(3700.0, "/pixel/p.gif", 1),
+                tx(3710.0, "/nice/w.gif", 1),
+            ],
+            7200.0,
+        );
+        let ts = request_series(&t, 3600);
+        assert_eq!(ts.nbins(), 2);
+        assert_eq!(ts.values(series::NON_AD), &[1.0, 0.0]);
+        assert_eq!(ts.values(series::EASYLIST), &[1.0, 0.0]);
+        assert_eq!(ts.values(series::EASYPRIVACY), &[0.0, 1.0]);
+        assert_eq!(ts.values(series::NON_INTRUSIVE), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn share_series_percentages() {
+        let t = classified(
+            vec![
+                tx(0.0, "/logo.png", 900),
+                tx(1.0, "/banners/a.gif", 100),
+                tx(2.0, "/pixel/p.gif", 0),
+            ],
+            3600.0,
+        );
+        let s = share_series(&t, 3600);
+        assert!((s.easylist_req_pct[0] - 33.333).abs() < 0.01);
+        assert!((s.easyprivacy_req_pct[0] - 33.333).abs() < 0.01);
+        assert!((s.easylist_bytes_pct[0] - 10.0).abs() < 0.01);
+        let combined = combined_ad_share(&s);
+        assert!((combined[0] - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn whitelist_only_excluded_from_5b() {
+        let t = classified(vec![tx(0.0, "/nice/w.gif", 100)], 3600.0);
+        let s = share_series(&t, 3600);
+        assert_eq!(s.easylist_req_pct[0], 0.0);
+        assert_eq!(s.easyprivacy_req_pct[0], 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Effects of the non-intrusive-ads whitelist (§7.3).
+
+use crate::classify::ListKind;
+use crate::pipeline::ClassifiedTrace;
+use http_model::registrable_domain;
+use std::collections::HashMap;
+
+/// Headline whitelist shares (§7.3's opening numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WhitelistShares {
+    /// % of *all* ad requests that hit the whitelist (the 9.2 % figure —
+    /// denominator includes EasyPrivacy-attributed requests).
+    pub of_all_ads_pct: f64,
+    /// % of EasyList+whitelist ad requests that hit the whitelist (the
+    /// 15.3 % figure — denominator excludes EasyPrivacy-only hits).
+    pub of_easylist_scope_pct: f64,
+    /// % of whitelisted requests that also match a blacklist (the 57.3 %
+    /// "accuracy" figure).
+    pub overriding_block_pct: f64,
+    /// Of the whitelisted-and-blacklisted requests, the % whose blacklist
+    /// hit is EasyPrivacy (the 23.2 % figure).
+    pub overridden_privacy_pct: f64,
+}
+
+/// Compute the headline shares.
+pub fn whitelist_shares(trace: &ClassifiedTrace) -> WhitelistShares {
+    let mut ads = 0u64;
+    let mut el_scope = 0u64;
+    let mut whitelisted = 0u64;
+    let mut el_scope_whitelisted = 0u64;
+    let mut overriding = 0u64;
+    let mut overriding_privacy = 0u64;
+    for r in &trace.requests {
+        if !r.label.is_ad() {
+            continue;
+        }
+        ads += 1;
+        let wl = r.label.exception() == Some(ListKind::Acceptable);
+        let el = r.label.blocked_by(ListKind::EasyList) || r.label.blocked_by(ListKind::Regional);
+        let ep = r.label.blocked_by(ListKind::EasyPrivacy);
+        if el || (wl && !ep) {
+            el_scope += 1;
+            if wl {
+                el_scope_whitelisted += 1;
+            }
+        }
+        if wl {
+            whitelisted += 1;
+            if el || ep {
+                overriding += 1;
+                if ep && !el {
+                    overriding_privacy += 1;
+                }
+            }
+        }
+    }
+    WhitelistShares {
+        of_all_ads_pct: stats::pct(whitelisted, ads),
+        of_easylist_scope_pct: stats::pct(el_scope_whitelisted, el_scope),
+        overriding_block_pct: stats::pct(overriding, whitelisted),
+        overridden_privacy_pct: stats::pct(overriding_privacy, overriding),
+    }
+}
+
+/// Per-entity whitelist benefit: of the requests a blacklist would block,
+/// how many does the whitelist save? Keyed by registrable domain of either
+/// the *publisher* (page) or the *ad-tech host* (request).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityBenefit {
+    /// The entity (registrable domain).
+    pub entity: String,
+    /// Blacklisted requests associated with the entity.
+    pub blacklisted: u64,
+    /// Of those, whitelisted (saved) ones.
+    pub whitelisted: u64,
+}
+
+impl EntityBenefit {
+    /// The whitelisted share (percent).
+    pub fn benefit_pct(&self) -> f64 {
+        stats::pct(self.whitelisted, self.blacklisted)
+    }
+}
+
+/// How entities are keyed for the benefit analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityKey {
+    /// Group by the page (publisher) that originated the requests.
+    Publisher,
+    /// Group by the host serving the ad (ad-tech company).
+    AdHost,
+}
+
+/// Compute per-entity whitelist benefits. Only requests that match a
+/// blacklist count ("match the blacklist" subset of §7.3); `min_requests`
+/// drops small entities like the paper's 1 K / 10 K thresholds.
+pub fn entity_benefits(
+    trace: &ClassifiedTrace,
+    key: EntityKey,
+    min_requests: u64,
+) -> Vec<EntityBenefit> {
+    let mut map: HashMap<String, (u64, u64)> = HashMap::new();
+    for r in &trace.requests {
+        // §7.3 scopes the benefit analysis to EasyList and its derivatives.
+        if !(r.label.blocked_by(ListKind::EasyList) || r.label.blocked_by(ListKind::Regional)) {
+            continue;
+        }
+        let entity = match key {
+            EntityKey::Publisher => match &r.page {
+                Some(p) => registrable_domain(p.host()).to_string(),
+                None => continue,
+            },
+            EntityKey::AdHost => registrable_domain(r.url.host()).to_string(),
+        };
+        let e = map.entry(entity).or_default();
+        e.0 += 1;
+        if r.label.exception() == Some(ListKind::Acceptable) {
+            e.1 += 1;
+        }
+    }
+    let mut out: Vec<EntityBenefit> = map
+        .into_iter()
+        .filter(|(_, (b, _))| *b >= min_requests)
+        .map(|(entity, (blacklisted, whitelisted))| EntityBenefit {
+            entity,
+            blacklisted,
+            whitelisted,
+        })
+        .collect();
+    out.sort_by(|a, b| b.benefit_pct().partial_cmp(&a.benefit_pct()).expect("finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PassiveClassifier;
+    use crate::pipeline::{classify_trace, PipelineOptions};
+    use abp_filter::FilterList;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
+    use http_model::HttpTransaction;
+    use netsim::record::{Trace, TraceMeta, TraceRecord};
+
+    fn tx(host: &str, uri: &str, referer: Option<&str>) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts: 0.0,
+            client_ip: 1,
+            server_ip: 1,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: host.into(),
+                uri: uri.into(),
+                referer: referer.map(str::to_string),
+                user_agent: Some("UA".into()),
+            },
+            response: ResponseHeaders {
+                status: 200,
+                content_type: Some("image/gif".into()),
+                content_length: Some(100),
+                location: None,
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: 2.0,
+        })
+    }
+
+    fn classified(records: Vec<TraceRecord>) -> ClassifiedTrace {
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: 10.0,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        };
+        let c = PassiveClassifier::new(vec![
+            FilterList::parse("easylist", "/banners/\n||goodads.example^\n"),
+            FilterList::parse("easyprivacy", "/pixel/\n"),
+            FilterList::parse(
+                "acceptable-ads",
+                "@@||goodads.example^\n@@||broad.example^\n",
+            ),
+        ]);
+        classify_trace(&trace, &c, PipelineOptions::default())
+    }
+
+    #[test]
+    fn headline_shares() {
+        let page = Some("http://pub.example/");
+        let t = classified(vec![
+            // EasyList-blocked, not whitelisted.
+            tx("x.example", "/banners/a.gif", page),
+            tx("x.example", "/banners/b.gif", page),
+            // EasyPrivacy hit.
+            tx("t.example", "/pixel/p.gif", page),
+            // Whitelisted AND blacklisted (goodads matched both lists).
+            tx("goodads.example", "/w.gif", page),
+            // Whitelisted only (overly-broad rule).
+            tx("broad.example", "/font.woff", page),
+        ]);
+        let s = whitelist_shares(&t);
+        // 2 whitelisted of 5 ads.
+        assert!((s.of_all_ads_pct - 40.0).abs() < 1e-9);
+        // EL scope: 2 banners + goodads + broad = 4; of those 2 whitelisted.
+        assert!((s.of_easylist_scope_pct - 50.0).abs() < 1e-9);
+        // Of 2 whitelisted, 1 overrides a block.
+        assert!((s.overriding_block_pct - 50.0).abs() < 1e-9);
+        assert_eq!(s.overridden_privacy_pct, 0.0);
+    }
+
+    #[test]
+    fn entity_benefits_by_ad_host() {
+        let page = Some("http://pub.example/");
+        let mut records = Vec::new();
+        for _ in 0..10 {
+            records.push(tx("goodads.example", "/w.gif", page));
+        }
+        for _ in 0..10 {
+            records.push(tx("x.example", "/banners/a.gif", page));
+        }
+        let t = classified(records);
+        let benefits = entity_benefits(&t, EntityKey::AdHost, 5);
+        let good = benefits
+            .iter()
+            .find(|b| b.entity == "goodads.example")
+            .unwrap();
+        assert_eq!(good.benefit_pct(), 100.0);
+        let x = benefits.iter().find(|b| b.entity == "x.example").unwrap();
+        assert_eq!(x.benefit_pct(), 0.0);
+        // Sorted by benefit descending.
+        assert!(benefits[0].benefit_pct() >= benefits[1].benefit_pct());
+    }
+
+    #[test]
+    fn entity_benefits_by_publisher() {
+        let t = classified(vec![
+            tx("goodads.example", "/w.gif", Some("http://www.happy.example/")),
+            tx("x.example", "/banners/a.gif", Some("http://www.grumpy.example/")),
+        ]);
+        let benefits = entity_benefits(&t, EntityKey::Publisher, 1);
+        let happy = benefits.iter().find(|b| b.entity == "happy.example").unwrap();
+        assert_eq!(happy.benefit_pct(), 100.0);
+        let grumpy = benefits.iter().find(|b| b.entity == "grumpy.example").unwrap();
+        assert_eq!(grumpy.benefit_pct(), 0.0);
+    }
+
+    #[test]
+    fn min_requests_filter() {
+        let page = Some("http://pub.example/");
+        let t = classified(vec![tx("x.example", "/banners/a.gif", page)]);
+        assert!(entity_benefits(&t, EntityKey::AdHost, 5).is_empty());
+        assert_eq!(entity_benefits(&t, EntityKey::AdHost, 1).len(), 1);
+    }
+}

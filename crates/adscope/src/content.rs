@@ -1,0 +1,140 @@
+//! Content-type inference (§3.1, "Content Type").
+//!
+//! The rule of thumb from the paper: trust the file extension when it
+//! determines a type; otherwise fall back to the `Content-Type` response
+//! header reduced to its general category. Redirect-type backfill (the
+//! third signal) is applied by the pipeline using the referrer map's
+//! backfill instructions.
+
+use http_model::extension::category_for_extension;
+use http_model::{ContentCategory, Url};
+
+/// Options for content-type inference (ablation toggles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentOptions {
+    /// Use the file-extension map before the header.
+    pub use_extension: bool,
+    /// Use the Content-Type header as fallback.
+    pub use_header: bool,
+}
+
+impl Default for ContentOptions {
+    fn default() -> Self {
+        ContentOptions {
+            use_extension: true,
+            use_header: true,
+        }
+    }
+}
+
+/// Infer the general content category of a request from its URL and
+/// response Content-Type.
+pub fn infer_category(
+    url: &Url,
+    content_type: Option<&str>,
+    opts: ContentOptions,
+) -> ContentCategory {
+    if opts.use_extension {
+        if let Some(ext) = url.extension() {
+            if let Some(cat) = category_for_extension(&ext) {
+                return cat;
+            }
+        }
+    }
+    if opts.use_header {
+        if let Some(ct) = content_type {
+            let cat = ContentCategory::from_mime(ct);
+            if cat != ContentCategory::Other {
+                return cat;
+            }
+        }
+    }
+    ContentCategory::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn extension_wins_over_header() {
+        // A .js served as text/html (the §4.2 mislabeling) is still script.
+        let cat = infer_category(
+            &url("http://x.example/app.js"),
+            Some("text/html"),
+            ContentOptions::default(),
+        );
+        assert_eq!(cat, ContentCategory::Script);
+    }
+
+    #[test]
+    fn header_fallback_when_no_extension() {
+        let cat = infer_category(
+            &url("http://x.example/api/suggest"),
+            Some("text/plain"),
+            ContentOptions::default(),
+        );
+        assert_eq!(cat, ContentCategory::Xhr);
+    }
+
+    #[test]
+    fn unknown_everything_is_other() {
+        let cat = infer_category(
+            &url("http://x.example/mystery"),
+            None,
+            ContentOptions::default(),
+        );
+        assert_eq!(cat, ContentCategory::Other);
+        let cat2 = infer_category(
+            &url("http://x.example/mystery.weirdext"),
+            Some("application/octet-stream"),
+            ContentOptions::default(),
+        );
+        assert_eq!(cat2, ContentCategory::Other);
+    }
+
+    #[test]
+    fn ablation_header_only() {
+        let opts = ContentOptions {
+            use_extension: false,
+            use_header: true,
+        };
+        // Without the extension map the mislabeled script becomes document.
+        let cat = infer_category(&url("http://x.example/app.js"), Some("text/html"), opts);
+        assert_eq!(cat, ContentCategory::Document);
+    }
+
+    #[test]
+    fn ablation_extension_only() {
+        let opts = ContentOptions {
+            use_extension: true,
+            use_header: false,
+        };
+        let cat = infer_category(&url("http://x.example/pic.gif"), None, opts);
+        assert_eq!(cat, ContentCategory::Image);
+        let cat2 = infer_category(&url("http://x.example/api"), Some("text/plain"), opts);
+        assert_eq!(cat2, ContentCategory::Other);
+    }
+
+    #[test]
+    fn paper_extension_list_respected() {
+        for (path, want) in [
+            ("/a.png", ContentCategory::Image),
+            ("/a.css", ContentCategory::Stylesheet),
+            ("/a.js", ContentCategory::Script),
+            ("/a.mp4", ContentCategory::Media),
+            ("/a.avi", ContentCategory::Media),
+        ] {
+            let got = infer_category(
+                &url(&format!("http://x.example{path}")),
+                None,
+                ContentOptions::default(),
+            );
+            assert_eq!(got, want, "{path}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! HTTP log extraction — the Bro-analyzer stage of the pipeline.
+//!
+//! The paper extends Bro's HTTP analyzer to export, per transaction: Host +
+//! URI, Referer, Content-Type, Content-Length and (their extension) the
+//! Location header of redirects. This module turns a captured trace into
+//! that log: a vector of [`WebObject`]s with parsed URLs, ready for the
+//! page-metadata reconstruction.
+
+use http_model::{HttpTransaction, Url};
+use netsim::record::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One extracted HTTP log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebObject {
+    /// Index of the transaction within the trace's HTTP records (stable id).
+    pub idx: usize,
+    /// Seconds since trace start.
+    pub ts: f64,
+    /// Anonymized client address.
+    pub client_ip: u32,
+    /// Server address.
+    pub server_ip: u32,
+    /// Reassembled request URL.
+    pub url: Url,
+    /// Parsed Referer URL, when present and parseable.
+    pub referer: Option<Url>,
+    /// Raw Content-Type header.
+    pub content_type: Option<String>,
+    /// Content-Length (0 when missing).
+    pub bytes: u64,
+    /// HTTP status.
+    pub status: u16,
+    /// Location header of 3xx responses.
+    pub location: Option<Url>,
+    /// User-Agent string.
+    pub user_agent: Option<String>,
+    /// TCP handshake (ms) — the RTT proxy.
+    pub tcp_handshake_ms: f64,
+    /// HTTP handshake (ms).
+    pub http_handshake_ms: f64,
+}
+
+impl WebObject {
+    /// The §8.2 back-office latency proxy.
+    pub fn backend_gap_ms(&self) -> f64 {
+        (self.http_handshake_ms - self.tcp_handshake_ms).max(0.0)
+    }
+}
+
+/// Extract the HTTP log from a trace. Transactions whose URL cannot be
+/// reassembled (empty Host) are dropped and counted.
+pub fn extract(trace: &Trace) -> (Vec<WebObject>, usize) {
+    let mut out = Vec::with_capacity(trace.records.len());
+    let mut dropped = 0usize;
+    for (idx, tx) in trace.http_transactions().enumerate() {
+        match extract_one(idx, tx) {
+            Some(o) => out.push(o),
+            None => dropped += 1,
+        }
+    }
+    (out, dropped)
+}
+
+fn extract_one(idx: usize, tx: &HttpTransaction) -> Option<WebObject> {
+    let url = tx.url()?;
+    Some(WebObject {
+        idx,
+        ts: tx.ts,
+        client_ip: tx.client_ip,
+        server_ip: tx.server_ip,
+        url,
+        referer: tx.referer_url(),
+        content_type: tx.response.content_type.clone(),
+        bytes: tx.response.content_length.unwrap_or(0),
+        status: tx.response.status,
+        location: tx
+            .response
+            .location
+            .as_deref()
+            .and_then(|l| Url::parse(l).ok()),
+        user_agent: tx.request.user_agent.clone(),
+        tcp_handshake_ms: tx.tcp_handshake_ms,
+        http_handshake_ms: tx.http_handshake_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
+    use netsim::record::{TraceMeta, TraceRecord};
+
+    fn tx(host: &str, uri: &str, referer: Option<&str>, location: Option<&str>) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts: 1.0,
+            client_ip: 5,
+            server_ip: 9,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: host.to_string(),
+                uri: uri.to_string(),
+                referer: referer.map(str::to_string),
+                user_agent: Some("UA".to_string()),
+            },
+            response: ResponseHeaders {
+                status: if location.is_some() { 302 } else { 200 },
+                content_type: Some("image/gif".to_string()),
+                content_length: Some(43),
+                location: location.map(str::to_string),
+            },
+            tcp_handshake_ms: 2.0,
+            http_handshake_ms: 5.0,
+        })
+    }
+
+    fn trace(records: Vec<TraceRecord>) -> Trace {
+        Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: 10.0,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        }
+    }
+
+    #[test]
+    fn extracts_fields() {
+        let t = trace(vec![tx(
+            "ads.example",
+            "/pixel.gif?x=1",
+            Some("http://pub.example/page"),
+            None,
+        )]);
+        let (objs, dropped) = extract(&t);
+        assert_eq!(dropped, 0);
+        assert_eq!(objs.len(), 1);
+        let o = &objs[0];
+        assert_eq!(o.url.host(), "ads.example");
+        assert_eq!(o.url.query(), Some("x=1"));
+        assert_eq!(o.referer.as_ref().unwrap().host(), "pub.example");
+        assert_eq!(o.bytes, 43);
+        assert_eq!(o.backend_gap_ms(), 3.0);
+    }
+
+    #[test]
+    fn extracts_location() {
+        let t = trace(vec![tx(
+            "redir.example",
+            "/r?dest=x",
+            None,
+            Some("http://target.example/banner.gif"),
+        )]);
+        let (objs, _) = extract(&t);
+        assert_eq!(objs[0].status, 302);
+        assert_eq!(
+            objs[0].location.as_ref().unwrap().host(),
+            "target.example"
+        );
+    }
+
+    #[test]
+    fn drops_empty_host() {
+        let t = trace(vec![tx("", "/x", None, None)]);
+        let (objs, dropped) = extract(&t);
+        assert!(objs.is_empty());
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn unparseable_referer_becomes_none() {
+        let t = trace(vec![tx("a.example", "/x", Some("garbage referer"), None)]);
+        let (objs, _) = extract(&t);
+        assert!(objs[0].referer.is_none());
+    }
+
+    #[test]
+    fn indices_are_stable() {
+        let t = trace(vec![
+            tx("a.example", "/1", None, None),
+            tx("", "/drop", None, None),
+            tx("b.example", "/2", None, None),
+        ]);
+        let (objs, dropped) = extract(&t);
+        assert_eq!(dropped, 1);
+        assert_eq!(objs[0].idx, 0);
+        assert_eq!(objs[1].idx, 2, "index counts dropped transactions");
+    }
+}

@@ -1,0 +1,198 @@
+//! Base-URL normalization (§3.1, "Base URL").
+//!
+//! Dynamic query values (cache busters, session ids) make URLs unique per
+//! visit and can spuriously match — or fail to match — filter rules whose
+//! patterns reference query fragments of an *earlier* request embedded in
+//! the current one. The paper normalizes query strings by replacing dynamic
+//! values, but takes care **not** to rewrite values that appear in filter
+//! rules (e.g. `@@*jsp?callback=aslHandleAds*`), which would break those
+//! rules.
+
+use http_model::Url;
+
+/// The replacement token for dynamic values.
+const PLACEHOLDER: &str = "X";
+
+/// A normalizer carrying the filter lists' query literals.
+#[derive(Debug, Clone, Default)]
+pub struct UrlNormalizer {
+    /// Lowercased query fragments appearing in any loaded filter rule.
+    protected: Vec<String>,
+    /// Ablation toggle: disabled normalizer returns URLs untouched.
+    pub enabled: bool,
+}
+
+impl UrlNormalizer {
+    /// Build from an engine's query literals.
+    pub fn from_engine(engine: &abp_filter::Engine) -> UrlNormalizer {
+        UrlNormalizer {
+            protected: engine.query_literals().to_vec(),
+            enabled: true,
+        }
+    }
+
+    /// Build with explicit protected fragments (tests, ablations).
+    pub fn with_protected(protected: Vec<String>) -> UrlNormalizer {
+        UrlNormalizer {
+            protected,
+            enabled: true,
+        }
+    }
+
+    /// Is this `key=value` pair protected by some filter literal? A pair is
+    /// protected when any rule literal contains `key=value` or `key=`
+    /// followed by a prefix of the value (wildcarded rules).
+    fn is_protected(&self, key: &str, value: &str) -> bool {
+        if self.protected.is_empty() {
+            return false;
+        }
+        let kv = format!("{}={}", key.to_ascii_lowercase(), value.to_ascii_lowercase());
+        let keq = format!("{}=", key.to_ascii_lowercase());
+        self.protected.iter().any(|lit| {
+            lit.contains(&kv) || {
+                // Literal mentions the key with a specific value prefix that
+                // the actual value starts with.
+                lit.find(&keq).is_some_and(|pos| {
+                    let tail = &lit[pos + keq.len()..];
+                    let lit_val: String = tail
+                        .chars()
+                        .take_while(|c| *c != '&' && *c != '?')
+                        .collect();
+                    !lit_val.is_empty()
+                        && value.to_ascii_lowercase().starts_with(&lit_val)
+                })
+            }
+        })
+    }
+
+    /// Does a value look dynamic? Numeric runs, long tokens, mixed
+    /// hex/base64-looking strings.
+    fn is_dynamic(value: &str) -> bool {
+        if value.is_empty() {
+            return false;
+        }
+        let digits = value.chars().filter(|c| c.is_ascii_digit()).count();
+        let len = value.chars().count();
+        // Mostly digits, or long opaque tokens.
+        digits * 2 > len || len >= 16
+    }
+
+    /// Normalize one URL: dynamic query values become `X` unless protected.
+    pub fn normalize(&self, url: &Url) -> Url {
+        if !self.enabled {
+            return url.clone();
+        }
+        let Some(query) = url.query() else {
+            return url.clone();
+        };
+        let mut changed = false;
+        let parts: Vec<String> = query
+            .split('&')
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                if v.is_empty() {
+                    kv.to_string()
+                } else if Self::is_dynamic(v) && !self.is_protected(k, v) {
+                    changed = true;
+                    format!("{k}={PLACEHOLDER}")
+                } else {
+                    kv.to_string()
+                }
+            })
+            .collect();
+        if !changed {
+            return url.clone();
+        }
+        url.with_query(Some(parts.join("&")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn replaces_dynamic_values() {
+        let n = UrlNormalizer::with_protected(vec![]);
+        let u = n.normalize(&url("http://a.example/x?cb=123456&ord=99887766"));
+        assert_eq!(u.query(), Some("cb=X&ord=X"));
+    }
+
+    #[test]
+    fn keeps_static_values() {
+        let n = UrlNormalizer::with_protected(vec![]);
+        let u = n.normalize(&url("http://a.example/x?lang=en&page=two"));
+        assert_eq!(u.query(), Some("lang=en&page=two"));
+    }
+
+    #[test]
+    fn long_opaque_tokens_are_dynamic() {
+        let n = UrlNormalizer::with_protected(vec![]);
+        let u = n.normalize(&url(
+            "http://a.example/x?sid=deadbeefcafe1234deadbeef",
+        ));
+        assert_eq!(u.query(), Some("sid=X"));
+    }
+
+    #[test]
+    fn protected_values_preserved() {
+        // The paper's example: @@*jsp?callback=aslHandleAds* — the callback
+        // value must survive normalization even though it is 16+ chars.
+        let n = UrlNormalizer::with_protected(vec!["jsp?callback=aslhandleads".to_string()]);
+        let u = n.normalize(&url(
+            "http://a.example/page.jsp?callback=aslHandleAdsXYZ123&cb=123456",
+        ));
+        assert_eq!(u.query(), Some("callback=aslHandleAdsXYZ123&cb=X"));
+    }
+
+    #[test]
+    fn exact_protected_pair_preserved() {
+        let n = UrlNormalizer::with_protected(vec!["track?id=777777".to_string()]);
+        let u = n.normalize(&url("http://a.example/track?id=777777"));
+        assert_eq!(u.query(), Some("id=777777"));
+        // A different numeric id is not protected.
+        let v = n.normalize(&url("http://a.example/track?id=999999"));
+        assert_eq!(v.query(), Some("id=X"));
+    }
+
+    #[test]
+    fn disabled_normalizer_is_identity() {
+        let mut n = UrlNormalizer::with_protected(vec![]);
+        n.enabled = false;
+        let u = url("http://a.example/x?cb=123456");
+        assert_eq!(n.normalize(&u), u);
+    }
+
+    #[test]
+    fn no_query_untouched() {
+        let n = UrlNormalizer::with_protected(vec![]);
+        let u = url("http://a.example/path.js");
+        assert_eq!(n.normalize(&u), u);
+    }
+
+    #[test]
+    fn valueless_params_kept() {
+        let n = UrlNormalizer::with_protected(vec![]);
+        let u = n.normalize(&url("http://a.example/x?flag&cb=123456"));
+        assert_eq!(u.query(), Some("flag&cb=X"));
+    }
+
+    #[test]
+    fn from_engine_collects_literals() {
+        let mut e = abp_filter::Engine::new();
+        e.add_list(abp_filter::FilterList::parse(
+            "el",
+            "@@*jsp?callback=aslHandleAds*\n",
+        ));
+        let n = UrlNormalizer::from_engine(&e);
+        assert!(n.enabled);
+        let u = n.normalize(&url(
+            "http://a.example/p.jsp?callback=aslHandleAds12345678",
+        ));
+        assert!(u.query().unwrap().contains("aslHandleAds"), "{u}");
+    }
+}

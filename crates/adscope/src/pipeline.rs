@@ -1,0 +1,364 @@
+//! The end-to-end classification pipeline (Figure 1 of the paper).
+
+use crate::classify::{AdLabel, PassiveClassifier};
+use crate::content::{infer_category, ContentOptions};
+use crate::extract::{extract, WebObject};
+use crate::normalize::UrlNormalizer;
+use crate::refmap::{RefMap, RefMapOptions};
+use http_model::{ContentCategory, Url};
+use netsim::record::{TlsConnection, Trace, TraceMeta};
+use std::collections::HashMap;
+
+/// Pipeline toggles — each disables one methodology component for the
+/// ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineOptions {
+    /// Referrer-map options (redirect repair, embedded URLs).
+    pub refmap: RefMapOptions,
+    /// Content-type inference options.
+    pub content: ContentOptions,
+    /// Normalize query strings before classification.
+    pub normalize: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            refmap: RefMapOptions::default(),
+            content: ContentOptions::default(),
+            normalize: true,
+        }
+    }
+}
+
+/// One classified request — the record every characterization consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedRequest {
+    /// Seconds since trace start.
+    pub ts: f64,
+    /// Anonymized client address.
+    pub client_ip: u32,
+    /// Server address.
+    pub server_ip: u32,
+    /// The (normalized) request URL.
+    pub url: Url,
+    /// Inferred page root, when reconstruction succeeded.
+    pub page: Option<Url>,
+    /// Inferred content category.
+    pub category: ContentCategory,
+    /// Raw Content-Type header (for Table 4, which reports raw MIME types).
+    pub content_type: Option<String>,
+    /// Response body bytes.
+    pub bytes: u64,
+    /// User-Agent string.
+    pub user_agent: Option<String>,
+    /// TCP handshake (ms).
+    pub tcp_handshake_ms: f64,
+    /// HTTP handshake (ms).
+    pub http_handshake_ms: f64,
+    /// The classification verdict.
+    pub label: AdLabel,
+}
+
+impl ClassifiedRequest {
+    /// The §8.2 back-office latency proxy.
+    pub fn backend_gap_ms(&self) -> f64 {
+        (self.http_handshake_ms - self.tcp_handshake_ms).max(0.0)
+    }
+}
+
+/// A fully classified trace.
+pub struct ClassifiedTrace {
+    /// Trace metadata.
+    pub meta: TraceMeta,
+    /// Classified HTTP requests, time-ordered.
+    pub requests: Vec<ClassifiedRequest>,
+    /// Opaque HTTPS flows (for the EasyList-download indicator).
+    pub https_flows: Vec<TlsConnection>,
+    /// Transactions dropped during extraction.
+    pub dropped: usize,
+}
+
+impl ClassifiedTrace {
+    /// Total ad requests under the paper's definition.
+    pub fn ad_request_count(&self) -> usize {
+        self.requests.iter().filter(|r| r.label.is_ad()).count()
+    }
+}
+
+/// Run the full pipeline over a captured trace.
+///
+/// Stage order per user, in time order: referrer map → content type
+/// (extension/header now, redirect backfill after) → URL normalization →
+/// classification. Classification must run *after* the backfill pass
+/// because redirect targets fix the redirecting request's type (§3.1).
+pub fn classify_trace(
+    trace: &Trace,
+    classifier: &PassiveClassifier,
+    opts: PipelineOptions,
+) -> ClassifiedTrace {
+    let (objects, dropped) = extract(trace);
+    let normalizer = if opts.normalize {
+        UrlNormalizer::from_engine(classifier.engine())
+    } else {
+        let mut n = UrlNormalizer::default();
+        n.enabled = false;
+        n
+    };
+
+    // Pass 1: per-user referrer map + provisional types.
+    let mut per_user: HashMap<(u32, Option<&str>), RefMap> = HashMap::new();
+    let mut pages: Vec<Option<Url>> = Vec::with_capacity(objects.len());
+    let mut categories: Vec<ContentCategory> = Vec::with_capacity(objects.len());
+    // idx (trace position) → objects position, for backfill.
+    let mut pos_of_idx: HashMap<usize, usize> = HashMap::with_capacity(objects.len());
+    let mut backfills: Vec<(usize, ContentCategory)> = Vec::new();
+
+    for (pos, obj) in objects.iter().enumerate() {
+        pos_of_idx.insert(obj.idx, pos);
+        let user_key = (obj.client_ip, obj.user_agent.as_deref());
+        let map = per_user
+            .entry(user_key)
+            .or_insert_with(|| RefMap::new(opts.refmap));
+        let entry = map.process(obj);
+        let cat = infer_category(&obj.url, obj.content_type.as_deref(), opts.content);
+        if let Some(redirecting_idx) = entry.backfill_type_to {
+            backfills.push((redirecting_idx, cat));
+        }
+        pages.push(entry.ctx.page);
+        categories.push(cat);
+    }
+    // Pass 2: redirect type backfill.
+    for (idx, cat) in backfills {
+        if let Some(&pos) = pos_of_idx.get(&idx) {
+            if cat != ContentCategory::Other {
+                categories[pos] = cat;
+            }
+        }
+    }
+    // Pass 3: normalize + classify.
+    let requests = objects
+        .iter()
+        .enumerate()
+        .map(|(pos, obj)| {
+            let url = normalizer.normalize(&obj.url);
+            let label = classifier.classify(&url, pages[pos].as_ref(), categories[pos]);
+            ClassifiedRequest {
+                ts: obj.ts,
+                client_ip: obj.client_ip,
+                server_ip: obj.server_ip,
+                url,
+                page: pages[pos].clone(),
+                category: categories[pos],
+                content_type: obj.content_type.clone(),
+                bytes: obj.bytes,
+                user_agent: obj.user_agent.clone(),
+                tcp_handshake_ms: obj.tcp_handshake_ms,
+                http_handshake_ms: obj.http_handshake_ms,
+                label,
+            }
+        })
+        .collect();
+
+    ClassifiedTrace {
+        meta: trace.meta.clone(),
+        requests,
+        https_flows: trace.https_flows().cloned().collect(),
+        dropped,
+    }
+}
+
+/// Convenience used across experiments and tests: objects list (extraction
+/// output) without classification.
+pub fn extract_objects(trace: &Trace) -> Vec<WebObject> {
+    extract(trace).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_filter::FilterList;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
+    use http_model::HttpTransaction;
+    use netsim::record::TraceRecord;
+
+    fn tx(
+        ts: f64,
+        client: u32,
+        host: &str,
+        uri: &str,
+        referer: Option<&str>,
+        ct: Option<&str>,
+        location: Option<&str>,
+    ) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts,
+            client_ip: client,
+            server_ip: 1,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: host.into(),
+                uri: uri.into(),
+                referer: referer.map(str::to_string),
+                user_agent: Some("UA".into()),
+            },
+            response: ResponseHeaders {
+                status: if location.is_some() { 302 } else { 200 },
+                content_type: ct.map(str::to_string),
+                content_length: Some(500),
+                location: location.map(str::to_string),
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: 2.0,
+        })
+    }
+
+    fn trace(records: Vec<TraceRecord>) -> Trace {
+        Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: 100.0,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        }
+    }
+
+    fn classifier() -> PassiveClassifier {
+        PassiveClassifier::new(vec![
+            FilterList::parse(
+                "easylist",
+                "||ads.example^$third-party\n/banners/\n@@*jsp?callback=aslHandleAds*\n",
+            ),
+            FilterList::parse("easyprivacy", "/pixel/\n"),
+        ])
+    }
+
+    #[test]
+    fn end_to_end_page_context_enables_third_party_rule() {
+        // ||ads.example^$third-party only fires with page context.
+        let t = trace(vec![
+            tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
+            tx(
+                0.5,
+                5,
+                "ads.example",
+                "/creative.gif",
+                Some("http://pub.example/"),
+                Some("image/gif"),
+                None,
+            ),
+        ]);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        assert_eq!(out.requests.len(), 2);
+        assert!(!out.requests[0].label.is_ad(), "the page itself is not an ad");
+        assert!(out.requests[1].label.is_ad());
+        assert_eq!(
+            out.requests[1].page.as_ref().unwrap().host(),
+            "pub.example"
+        );
+    }
+
+    #[test]
+    fn redirect_backfill_fixes_type_and_page() {
+        let t = trace(vec![
+            tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
+            // Redirector: no content type at all.
+            tx(
+                0.2,
+                5,
+                "r.example",
+                "/go?id=1",
+                Some("http://pub.example/"),
+                None,
+                Some("http://media.example/spot.mp4"),
+            ),
+            // Target arrives with no referer.
+            tx(
+                0.3,
+                5,
+                "media.example",
+                "/spot.mp4",
+                None,
+                Some("video/mp4"),
+                None,
+            ),
+        ]);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        // The redirector's category is backfilled from the target (media).
+        assert_eq!(out.requests[1].category, ContentCategory::Media);
+        // The target's page was stitched across the redirect.
+        assert_eq!(
+            out.requests[2].page.as_ref().unwrap().host(),
+            "pub.example"
+        );
+    }
+
+    #[test]
+    fn normalization_applies_to_stored_urls() {
+        let t = trace(vec![tx(
+            0.0,
+            5,
+            "x.example",
+            "/banners/a.gif?cb=1234567",
+            None,
+            Some("image/gif"),
+            None,
+        )]);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        assert_eq!(out.requests[0].url.query(), Some("cb=X"));
+        assert!(out.requests[0].label.is_ad());
+        // Ablation: normalization off keeps the raw query.
+        let out2 = classify_trace(
+            &t,
+            &classifier(),
+            PipelineOptions {
+                normalize: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out2.requests[0].url.query(), Some("cb=1234567"));
+    }
+
+    #[test]
+    fn users_do_not_share_page_state() {
+        let t = trace(vec![
+            tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
+            // Different client: orphan object must not inherit client 5's page.
+            tx(0.5, 6, "cdn.example", "/app.js", None, Some("application/javascript"), None),
+        ]);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        assert!(out.requests[1].page.is_none());
+    }
+
+    #[test]
+    fn https_flows_carried_through() {
+        let mut records = vec![tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None)];
+        records.push(TraceRecord::Https(netsim::record::TlsConnection {
+            ts: 1.0,
+            client_ip: 5,
+            server_ip: 77,
+            server_port: 443,
+            bytes: 3000,
+        }));
+        let t = trace(records);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        assert_eq!(out.https_flows.len(), 1);
+        assert_eq!(out.https_flows[0].server_ip, 77);
+    }
+
+    #[test]
+    fn ad_request_count() {
+        let t = trace(vec![
+            tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
+            tx(0.1, 5, "x.example", "/banners/a.gif", Some("http://pub.example/"), Some("image/gif"), None),
+            tx(0.2, 5, "t.example", "/pixel/p.gif", Some("http://pub.example/"), Some("image/gif"), None),
+        ]);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        assert_eq!(out.ad_request_count(), 2);
+    }
+}

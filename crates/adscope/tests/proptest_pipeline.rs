@@ -1,0 +1,182 @@
+//! Property tests for the passive pipeline: normalization is idempotent and
+//! conservative, content inference is total, the referrer map never panics
+//! on arbitrary orderings, and per-user aggregation conserves counts.
+
+use adscope::classify::PassiveClassifier;
+use adscope::content::{infer_category, ContentOptions};
+use adscope::normalize::UrlNormalizer;
+use adscope::pipeline::{classify_trace, PipelineOptions};
+use adscope::users::aggregate_users;
+use abp_filter::FilterList;
+use http_model::headers::{RequestHeaders, ResponseHeaders};
+use http_model::transaction::Method;
+use http_model::{HttpTransaction, Url};
+use netsim::record::{Trace, TraceMeta, TraceRecord};
+use proptest::prelude::*;
+
+fn url_strategy() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec("[a-z][a-z0-9]{0,6}", 2..4),
+        proptest::collection::vec("[a-zA-Z0-9_.-]{1,8}", 0..4),
+        proptest::option::of(proptest::collection::vec(
+            ("[a-z]{1,6}", "[a-zA-Z0-9]{0,20}"),
+            1..4,
+        )),
+    )
+        .prop_map(|(host, path, query)| {
+            let mut s = format!("http://{}/{}", host.join("."), path.join("/"));
+            if let Some(q) = query {
+                s.push('?');
+                s.push_str(
+                    &q.into_iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join("&"),
+                );
+            }
+            s
+        })
+}
+
+proptest! {
+    #[test]
+    fn normalization_is_idempotent(url_str in url_strategy()) {
+        let n = UrlNormalizer::with_protected(vec!["callback=keepme".into()]);
+        let url = Url::parse(&url_str).unwrap();
+        let once = n.normalize(&url);
+        let twice = n.normalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalization_preserves_everything_but_query(url_str in url_strategy()) {
+        let n = UrlNormalizer::with_protected(vec![]);
+        let url = Url::parse(&url_str).unwrap();
+        let out = n.normalize(&url);
+        prop_assert_eq!(out.host(), url.host());
+        prop_assert_eq!(out.path(), url.path());
+        prop_assert_eq!(out.query().is_some(), url.query().is_some());
+        // Query keys survive in order.
+        let keys_in: Vec<&str> = url.query_pairs().map(|(k, _)| k).collect();
+        let keys_out: Vec<&str> = out.query_pairs().map(|(k, _)| k).collect();
+        prop_assert_eq!(keys_in, keys_out);
+    }
+
+    #[test]
+    fn content_inference_is_total(url_str in url_strategy(), ct in proptest::option::of("[a-z]{1,10}/[a-z0-9.+-]{1,15}")) {
+        let url = Url::parse(&url_str).unwrap();
+        let _ = infer_category(&url, ct.as_deref(), ContentOptions::default());
+    }
+
+    #[test]
+    fn aggregation_conserves_requests(
+        n_requests in 1usize..60,
+        n_users in 1u32..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<TraceRecord> = (0..n_requests)
+            .map(|i| {
+                TraceRecord::Http(HttpTransaction {
+                    ts: i as f64,
+                    client_ip: rng.gen_range(1..=n_users),
+                    server_ip: 9,
+                    server_port: 80,
+                    method: Method::Get,
+                    request: RequestHeaders {
+                        host: "x.example".into(),
+                        uri: format!("/obj{i}"),
+                        referer: None,
+                        user_agent: Some(format!("UA-{}", rng.gen_range(0..3))),
+                    },
+                    response: ResponseHeaders {
+                        status: 200,
+                        content_type: Some("image/gif".into()),
+                        content_length: Some(10),
+                        location: None,
+                    },
+                    tcp_handshake_ms: 1.0,
+                    http_handshake_ms: 2.0,
+                })
+            })
+            .collect();
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "prop".into(),
+                duration_secs: n_requests as f64 + 1.0,
+                subscribers: n_users as usize,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        };
+        let classifier = PassiveClassifier::new(vec![FilterList::parse("easylist", "/ads/\n")]);
+        let classified = classify_trace(&trace, &classifier, PipelineOptions::default());
+        let users = aggregate_users(&classified);
+        let total: u64 = users.iter().map(|u| u.requests).sum();
+        prop_assert_eq!(total as usize, n_requests);
+        // No user aggregate can exceed the trace totals.
+        for u in &users {
+            prop_assert!(u.ad_requests <= u.requests);
+            prop_assert!(u.easylist_blockable <= u.requests);
+        }
+    }
+
+    #[test]
+    fn pipeline_output_is_one_to_one_with_http_records(
+        n in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<TraceRecord> = (0..n)
+            .map(|i| {
+                TraceRecord::Http(HttpTransaction {
+                    ts: i as f64 * 0.5,
+                    client_ip: 1,
+                    server_ip: rng.gen_range(1..5),
+                    server_port: 80,
+                    method: Method::Get,
+                    request: RequestHeaders {
+                        host: format!("h{}.example", rng.gen_range(0..4)),
+                        uri: format!("/p{i}?cb={}", rng.gen_range(100000..999999u32)),
+                        referer: if rng.gen_bool(0.5) {
+                            Some("http://h0.example/".to_string())
+                        } else {
+                            None
+                        },
+                        user_agent: Some("UA".into()),
+                    },
+                    response: ResponseHeaders {
+                        status: 200,
+                        content_type: None,
+                        content_length: Some(rng.gen_range(1..100_000)),
+                        location: None,
+                    },
+                    tcp_handshake_ms: 1.0,
+                    http_handshake_ms: 2.0,
+                })
+            })
+            .collect();
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "prop2".into(),
+                duration_secs: n as f64,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        };
+        let classifier = PassiveClassifier::new(vec![FilterList::parse("easylist", "/ads/\n")]);
+        let classified = classify_trace(&trace, &classifier, PipelineOptions::default());
+        prop_assert_eq!(classified.requests.len() + classified.dropped, n);
+        // Bytes conserved.
+        let bytes_in: u64 = trace.http_transactions().map(|t| t.body_bytes()).sum();
+        let bytes_out: u64 = classified.requests.iter().map(|r| r.bytes).sum();
+        prop_assert_eq!(bytes_in, bytes_out);
+    }
+}

@@ -1,0 +1,107 @@
+//! Ablation benches for the methodology components DESIGN.md calls out:
+//! referrer-map repair, embedded-URL insertion, URL normalization and
+//! extension-based type inference. Each variant reports both runtime and —
+//! via a one-off println — its effect on the classified ad count, so the
+//! accuracy cost of disabling a stage is visible next to its speed.
+
+use adscope::content::ContentOptions;
+use adscope::pipeline::{classify_trace, PipelineOptions};
+use adscope::refmap::RefMapOptions;
+use bench::{bench_classifier, bench_ecosystem, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, PipelineOptions)> {
+    vec![
+        ("full", PipelineOptions::default()),
+        (
+            "no_redirect_repair",
+            PipelineOptions {
+                refmap: RefMapOptions {
+                    redirect_repair: false,
+                    embedded_urls: true,
+                },
+                ..Default::default()
+            },
+        ),
+        (
+            "no_embedded_urls",
+            PipelineOptions {
+                refmap: RefMapOptions {
+                    redirect_repair: true,
+                    embedded_urls: false,
+                },
+                ..Default::default()
+            },
+        ),
+        (
+            "no_normalization",
+            PipelineOptions {
+                normalize: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "header_type_only",
+            PipelineOptions {
+                content: ContentOptions {
+                    use_extension: false,
+                    use_header: true,
+                },
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+fn ablation(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+    let classifier = bench_classifier(&eco);
+    let trace = bench_trace(&eco);
+    let n = trace.http_count() as u64;
+
+    // Accuracy deltas, printed once alongside the timing results: ad-count
+    // drift, page-context coverage, and — the sharper metric — how many
+    // requests end up attributed to a *different page* than the full
+    // pipeline assigns (page identity drives $domain/$third-party rules and
+    // all publisher-level analyses).
+    let full = classify_trace(&trace, &classifier, PipelineOptions::default());
+    println!("\nablation effects (n={n} requests):");
+    for (name, opts) in variants() {
+        let out = classify_trace(&trace, &classifier, opts);
+        let coverage = 100.0
+            * out.requests.iter().filter(|r| r.page.is_some()).count() as f64
+            / out.requests.len() as f64;
+        let page_diverged = out
+            .requests
+            .iter()
+            .zip(&full.requests)
+            .filter(|(a, b)| a.page != b.page)
+            .count();
+        let verdict_diverged = out
+            .requests
+            .iter()
+            .zip(&full.requests)
+            .filter(|(a, b)| a.label != b.label)
+            .count();
+        println!(
+            "  {name:<20} ads={} ({:+} vs full)  page-coverage {coverage:.1}%  \
+             page-divergence {page_diverged}  verdict-divergence {verdict_diverged}",
+            out.ad_request_count(),
+            out.ad_request_count() as i64 - full.ad_request_count() as i64,
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(n));
+    for (name, opts) in variants() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(classify_trace(black_box(&trace), &classifier, opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Filter-matching throughput (Table 1's enabling machinery): token-indexed
+//! classification vs a brute-force scan over the same rules — the design
+//! choice that makes trace-scale classification feasible.
+
+use abp_filter::matcher::{host_span, matches};
+use abp_filter::Request;
+use bench::{bench_classifier, bench_ecosystem, bench_urls};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use http_model::Url;
+use std::hint::black_box;
+
+fn filter_match(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+    let classifier = bench_classifier(&eco);
+    let urls = bench_urls(&eco, 2_000);
+    let page = Url::parse("http://www.dailyherald000.example/").unwrap();
+
+    let mut group = c.benchmark_group("filter_match");
+    group.throughput(Throughput::Elements(urls.len() as u64));
+
+    group.bench_function("token_indexed_engine", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (url, cat) in &urls {
+                let label = classifier.classify(black_box(url), Some(&page), *cat);
+                if label.is_ad() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    // Brute force: evaluate every blocking rule for every URL.
+    let all_lists = [eco.lists.easylist(),
+        eco.lists.regional(),
+        eco.lists.easyprivacy(),
+        eco.lists.acceptable()];
+    let blocking: Vec<abp_filter::NetFilter> = all_lists
+        .iter()
+        .flat_map(|l| l.blocking.iter().cloned())
+        .collect();
+    group.bench_function("brute_force_scan", |b| {
+        b.iter_batched(
+            || urls.clone(),
+            |urls| {
+                let mut hits = 0usize;
+                for (url, _) in &urls {
+                    let lower = url.as_string().to_ascii_lowercase();
+                    let (hs, he) = host_span(&lower);
+                    if blocking.iter().any(|f| matches(&f.pattern, &lower, hs, he)) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Single-URL latencies for hit vs miss.
+    let ad_url = Url::parse("http://bid.mopubble.example/adserve/bid0_0?cb=1").unwrap();
+    let miss_url = Url::parse("http://assets.portalmix999.example/img/photo.jpg").unwrap();
+    let mut single = c.benchmark_group("filter_match_single");
+    single.bench_function("ad_hit", |b| {
+        b.iter(|| {
+            black_box(classifier.engine().classify(&Request {
+                url: black_box(&ad_url),
+                source_url: Some(&page),
+                category: http_model::ContentCategory::Xhr,
+            }))
+        })
+    });
+    single.bench_function("content_miss", |b| {
+        b.iter(|| {
+            black_box(classifier.engine().classify(&Request {
+                url: black_box(&miss_url),
+                source_url: Some(&page),
+                category: http_model::ContentCategory::Image,
+            }))
+        })
+    });
+    single.finish();
+}
+
+criterion_group!(benches, filter_match);
+criterion_main!(benches);

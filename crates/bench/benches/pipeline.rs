@@ -1,0 +1,41 @@
+//! End-to-end pipeline throughput over a captured trace — the cost of each
+//! Figure-1 stage: extraction, page reconstruction, classification.
+
+use adscope::pipeline::{classify_trace, extract_objects, PipelineOptions};
+use bench::{bench_classifier, bench_ecosystem, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn pipeline(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+    let classifier = bench_classifier(&eco);
+    let trace = bench_trace(&eco);
+    let n = trace.http_count() as u64;
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("extract_only", |b| {
+        b.iter(|| black_box(extract_objects(black_box(&trace))))
+    });
+
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            black_box(classify_trace(
+                black_box(&trace),
+                &classifier,
+                PipelineOptions::default(),
+            ))
+        })
+    });
+
+    group.bench_function("users_aggregation", |b| {
+        let classified = classify_trace(&trace, &classifier, PipelineOptions::default());
+        b.iter(|| black_box(adscope::users::aggregate_users(black_box(&classified))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

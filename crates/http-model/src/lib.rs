@@ -1,0 +1,37 @@
+//! HTTP substrate for the *Annoyed Users* reproduction.
+//!
+//! This crate models exactly the slice of HTTP that the paper's passive
+//! methodology consumes from header-only traces:
+//!
+//! * [`url::Url`] — a lightweight URL parser sufficient for filter matching
+//!   and referrer-map construction (scheme, host, port, path, query).
+//! * [`domain`] — registrable-domain logic with an embedded mini public
+//!   suffix list, used for the `$domain=` / `$third-party` filter options.
+//! * [`mime::ContentCategory`] — the general content categories Adblock Plus
+//!   distinguishes (`document`, `script`, `stylesheet`, `image`, `media`,
+//!   `object`, …) plus the mapping from raw `Content-Type` values.
+//! * [`extension`] — the file-extension → category map of §3.1 of the paper
+//!   (`.png .gif .jpg .svg .ico` → image, `.css` → stylesheet, `.js` →
+//!   script, `.mp4 .avi` → media).
+//! * [`useragent`] — synthesis *and* classification of `User-Agent` strings:
+//!   the simulator emits realistic strings, and the analysis side classifies
+//!   them back into browser families and device classes like §6.1 does.
+//! * [`transaction::HttpTransaction`] — one reconstructed HTTP transaction
+//!   (the unit Bro's HTTP analyzer emits per request/response pair).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod extension;
+pub mod headers;
+pub mod mime;
+pub mod transaction;
+pub mod url;
+pub mod useragent;
+
+pub use crate::url::Url;
+pub use domain::{is_subdomain_or_same, is_third_party, registrable_domain};
+pub use mime::ContentCategory;
+pub use transaction::{HttpTransaction, Method};
+pub use useragent::{BrowserFamily, DeviceClass, UserAgent};

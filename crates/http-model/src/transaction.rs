@@ -1,0 +1,163 @@
+//! One reconstructed HTTP transaction — the record unit of the pipeline.
+
+use crate::headers::{RequestHeaders, ResponseHeaders};
+use crate::url::Url;
+use serde::{Deserialize, Serialize};
+
+/// HTTP request method. The traces are overwhelmingly GET; POST appears for
+/// beacons and RTB callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// HEAD
+    Head,
+}
+
+impl Method {
+    /// Canonical method string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+}
+
+/// A single HTTP transaction extracted from a trace, in the shape the Bro
+/// HTTP analyzer (plus the paper's `Location` extension) produces.
+///
+/// Client identity is an *anonymized* IP (u32 label) — real addresses never
+/// exist in this system, mirroring the capture-time anonymization of §5 —
+/// plus the `User-Agent` string that the paper uses to split devices behind
+/// NAT (Maier et al.).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpTransaction {
+    /// Seconds since trace start at which the request was seen.
+    pub ts: f64,
+    /// Anonymized client address label.
+    pub client_ip: u32,
+    /// Server address label.
+    pub server_ip: u32,
+    /// Server TCP port (80 for HTTP in the DAG-style port classification).
+    pub server_port: u16,
+    /// Request method.
+    pub method: Method,
+    /// Request headers (Host, URI, Referer, User-Agent).
+    pub request: RequestHeaders,
+    /// Response headers (status, Content-Type, Content-Length, Location).
+    pub response: ResponseHeaders,
+    /// TCP handshake time in milliseconds (SYN-ACK − SYN), the RTT proxy of
+    /// §8.2.
+    pub tcp_handshake_ms: f64,
+    /// HTTP handshake time in milliseconds (first response byte − first
+    /// request byte).
+    pub http_handshake_ms: f64,
+}
+
+impl HttpTransaction {
+    /// Reassemble the full request URL from Host + URI.
+    pub fn url(&self) -> Option<Url> {
+        if self.request.host.is_empty() {
+            return None;
+        }
+        let mut s = String::with_capacity(self.request.host.len() + self.request.uri.len() + 8);
+        s.push_str("http://");
+        s.push_str(&self.request.host);
+        if !self.request.uri.starts_with('/') {
+            s.push('/');
+        }
+        s.push_str(&self.request.uri);
+        Url::parse(&s).ok()
+    }
+
+    /// Parsed referer URL, when present and parseable.
+    pub fn referer_url(&self) -> Option<Url> {
+        self.request
+            .referer
+            .as_deref()
+            .and_then(|r| Url::parse(r).ok())
+    }
+
+    /// Response body size with a missing `Content-Length` treated as zero.
+    pub fn body_bytes(&self) -> u64 {
+        self.response.content_length.unwrap_or(0)
+    }
+
+    /// The back-office latency proxy of §8.2: HTTP handshake minus TCP
+    /// handshake, clamped at zero.
+    pub fn backend_gap_ms(&self) -> f64 {
+        (self.http_handshake_ms - self.tcp_handshake_ms).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::RequestHeaders;
+
+    fn tx(host: &str, uri: &str) -> HttpTransaction {
+        HttpTransaction {
+            ts: 0.0,
+            client_ip: 1,
+            server_ip: 2,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: host.to_string(),
+                uri: uri.to_string(),
+                referer: None,
+                user_agent: None,
+            },
+            response: ResponseHeaders::default(),
+            tcp_handshake_ms: 10.0,
+            http_handshake_ms: 130.0,
+        }
+    }
+
+    #[test]
+    fn url_reassembly() {
+        let t = tx("example.com", "/a/b?x=1");
+        assert_eq!(t.url().unwrap().as_string(), "http://example.com/a/b?x=1");
+    }
+
+    #[test]
+    fn url_without_leading_slash() {
+        let t = tx("example.com", "img.gif");
+        assert_eq!(t.url().unwrap().path(), "/img.gif");
+    }
+
+    #[test]
+    fn url_empty_host() {
+        let t = tx("", "/x");
+        assert!(t.url().is_none());
+    }
+
+    #[test]
+    fn backend_gap() {
+        let t = tx("e.com", "/");
+        assert!((t.backend_gap_ms() - 120.0).abs() < 1e-9);
+        let mut t2 = tx("e.com", "/");
+        t2.http_handshake_ms = 5.0;
+        assert_eq!(t2.backend_gap_ms(), 0.0);
+    }
+
+    #[test]
+    fn referer_parsing() {
+        let mut t = tx("e.com", "/");
+        t.request.referer = Some("http://pub.com/page".into());
+        assert_eq!(t.referer_url().unwrap().host(), "pub.com");
+        t.request.referer = Some("not a url".into());
+        assert!(t.referer_url().is_none());
+    }
+
+    #[test]
+    fn method_strings() {
+        assert_eq!(Method::Get.as_str(), "GET");
+        assert_eq!(Method::Post.as_str(), "POST");
+        assert_eq!(Method::Head.as_str(), "HEAD");
+    }
+}

@@ -1,0 +1,339 @@
+//! `User-Agent` string synthesis and classification.
+//!
+//! The paper separates devices behind NAT by the pair ⟨IP, User-Agent⟩
+//! (Maier et al.) and then manually annotates UA strings into browser
+//! families and device classes (§6.1). We do both directions: the simulator
+//! *synthesizes* realistic strings for every device type it models, and the
+//! analysis side *classifies* arbitrary strings back — without sharing any
+//! lookup table, so classification genuinely has to parse the strings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Browser families distinguished by the paper's annotation (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BrowserFamily {
+    /// Mozilla Firefox (desktop).
+    Firefox,
+    /// Google Chrome (desktop).
+    Chrome,
+    /// Microsoft Internet Explorer.
+    InternetExplorer,
+    /// Apple Safari (desktop).
+    Safari,
+    /// Any mobile browser (the paper folds mobile into one category).
+    Mobile,
+    /// Not a browser (apps, consoles, smart TVs, updaters, players).
+    NonBrowser,
+}
+
+impl BrowserFamily {
+    /// Families counted as desktop browsers.
+    pub fn is_desktop_browser(self) -> bool {
+        matches!(
+            self,
+            BrowserFamily::Firefox
+                | BrowserFamily::Chrome
+                | BrowserFamily::InternetExplorer
+                | BrowserFamily::Safari
+        )
+    }
+
+    /// Families counted as browsers at all (desktop or mobile).
+    pub fn is_browser(self) -> bool {
+        self != BrowserFamily::NonBrowser
+    }
+
+    /// Display label used in reports (matches Figure 4's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            BrowserFamily::Firefox => "Firefox (PC)",
+            BrowserFamily::Chrome => "Chrome (PC)",
+            BrowserFamily::InternetExplorer => "IE (PC)",
+            BrowserFamily::Safari => "Safari (PC)",
+            BrowserFamily::Mobile => "Any (Mobile)",
+            BrowserFamily::NonBrowser => "Non-browser",
+        }
+    }
+}
+
+impl fmt::Display for BrowserFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Device classes observed behind residential NAT gateways (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Desktop/laptop web browser.
+    DesktopBrowser,
+    /// Phone/tablet web browser.
+    MobileBrowser,
+    /// Mobile application with a custom UA.
+    MobileApp,
+    /// Game console.
+    GameConsole,
+    /// Smart TV.
+    SmartTv,
+    /// Software update client.
+    SoftwareUpdater,
+    /// Standalone media player.
+    MediaPlayer,
+    /// Unrecognized.
+    Unknown,
+}
+
+impl DeviceClass {
+    /// True when ads are expected to appear for this device class (browsers
+    /// only — the paper excludes in-app ads from its analysis).
+    pub fn is_browser(self) -> bool {
+        matches!(self, DeviceClass::DesktopBrowser | DeviceClass::MobileBrowser)
+    }
+}
+
+/// Operating systems used when synthesizing UA strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    /// Windows NT 6.1/10.0.
+    Windows,
+    /// macOS.
+    MacOs,
+    /// Desktop Linux.
+    Linux,
+    /// Android phone.
+    Android,
+    /// iPhone.
+    Ios,
+}
+
+/// A synthesized or classified User-Agent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UserAgent {
+    /// The literal header value.
+    pub raw: String,
+}
+
+impl UserAgent {
+    /// Synthesize a desktop browser UA string.
+    pub fn desktop(family: BrowserFamily, os: Os, version: u32) -> UserAgent {
+        let os_token = match os {
+            Os::Windows => "Windows NT 10.0; Win64; x64",
+            Os::MacOs => "Macintosh; Intel Mac OS X 10_15_7",
+            Os::Linux => "X11; Linux x86_64",
+            Os::Android | Os::Ios => "Windows NT 10.0; Win64; x64",
+        };
+        let raw = match family {
+            BrowserFamily::Firefox => format!(
+                "Mozilla/5.0 ({os_token}; rv:{version}.0) Gecko/20100101 Firefox/{version}.0"
+            ),
+            BrowserFamily::Chrome => format!(
+                "Mozilla/5.0 ({os_token}) AppleWebKit/537.36 (KHTML, like Gecko) \
+                 Chrome/{version}.0.0.0 Safari/537.36"
+            ),
+            BrowserFamily::InternetExplorer => format!(
+                "Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:{version}.0) like Gecko"
+            ),
+            BrowserFamily::Safari => format!(
+                "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 \
+                 (KHTML, like Gecko) Version/{version}.0 Safari/605.1.15"
+            ),
+            BrowserFamily::Mobile | BrowserFamily::NonBrowser => {
+                // Not meaningful as desktop UAs; synthesize a Chrome-like
+                // fallback to keep the function total.
+                format!(
+                    "Mozilla/5.0 ({os_token}) AppleWebKit/537.36 (KHTML, like Gecko) \
+                     Chrome/{version}.0.0.0 Safari/537.36"
+                )
+            }
+        };
+        UserAgent { raw }
+    }
+
+    /// Synthesize a mobile browser UA string (iPhone Safari or Android
+    /// Chrome).
+    pub fn mobile(os: Os, version: u32) -> UserAgent {
+        let raw = match os {
+            Os::Ios => format!(
+                "Mozilla/5.0 (iPhone; CPU iPhone OS 8_{version} like Mac OS X) \
+                 AppleWebKit/600.1.4 (KHTML, like Gecko) Version/8.0 Mobile/12B411 Safari/600.1.4"
+            ),
+            _ => format!(
+                "Mozilla/5.0 (Linux; Android 5.1; Nexus 5 Build/LMY47I) AppleWebKit/537.36 \
+                 (KHTML, like Gecko) Chrome/{version}.0.0.0 Mobile Safari/537.36"
+            ),
+        };
+        UserAgent { raw }
+    }
+
+    /// Synthesize a non-browser UA string for the given device class.
+    /// `variant` differentiates devices of the same class.
+    pub fn non_browser(class: DeviceClass, variant: u32) -> UserAgent {
+        let raw = match class {
+            DeviceClass::MobileApp => format!("FunApp/{variant}.2 CFNetwork/711.3.18 Darwin/14.0.0"),
+            DeviceClass::GameConsole => {
+                format!("Mozilla/5.0 (PlayStation 4 {variant}.50) AppleWebKit/537.73")
+            }
+            DeviceClass::SmartTv => format!(
+                "Mozilla/5.0 (SMART-TV; Linux; Tizen 2.{variant}) AppleWebKit/538.1 SmartTV Safari/538.1"
+            ),
+            DeviceClass::SoftwareUpdater => format!("Microsoft-Delivery-Optimization/10.{variant}"),
+            DeviceClass::MediaPlayer => format!("VLC/2.{variant}.0 LibVLC/2.{variant}.0"),
+            DeviceClass::DesktopBrowser | DeviceClass::MobileBrowser | DeviceClass::Unknown => {
+                format!("GenericClient/{variant}.0")
+            }
+        };
+        UserAgent { raw }
+    }
+
+    /// Classify a UA string into a browser family — the passive-side
+    /// annotation of §6.1. The precedence order matters: many strings embed
+    /// `Safari` or `like Gecko` as compatibility tokens.
+    pub fn family(&self) -> BrowserFamily {
+        let s = &self.raw;
+        let class = self.device_class();
+        match class {
+            DeviceClass::MobileBrowser => BrowserFamily::Mobile,
+            DeviceClass::DesktopBrowser => {
+                if s.contains("Firefox/") {
+                    BrowserFamily::Firefox
+                } else if s.contains("Trident/") || s.contains("MSIE ") {
+                    BrowserFamily::InternetExplorer
+                } else if s.contains("Chrome/") {
+                    BrowserFamily::Chrome
+                } else if s.contains("Safari/") {
+                    BrowserFamily::Safari
+                } else {
+                    BrowserFamily::NonBrowser
+                }
+            }
+            _ => BrowserFamily::NonBrowser,
+        }
+    }
+
+    /// Classify a UA string into a device class.
+    pub fn device_class(&self) -> DeviceClass {
+        let s = &self.raw;
+        // Non-browser signatures first: consoles, TVs, updaters, players,
+        // apps. These often embed WebKit tokens and must win over the
+        // browser checks.
+        if s.contains("PlayStation") || s.contains("Xbox") || s.contains("Nintendo") {
+            return DeviceClass::GameConsole;
+        }
+        if s.contains("SMART-TV") || s.contains("SmartTV") || s.contains("AppleTV") {
+            return DeviceClass::SmartTv;
+        }
+        if s.contains("Delivery-Optimization")
+            || s.contains("Windows-Update-Agent")
+            || s.contains("Software Update")
+        {
+            return DeviceClass::SoftwareUpdater;
+        }
+        if s.contains("VLC/") || s.contains("LibVLC") || s.contains("stagefright") {
+            return DeviceClass::MediaPlayer;
+        }
+        if s.contains("CFNetwork/") || s.contains("Dalvik/") || s.contains("okhttp") {
+            return DeviceClass::MobileApp;
+        }
+        if !s.starts_with("Mozilla/") {
+            return DeviceClass::Unknown;
+        }
+        if s.contains("Mobile") || s.contains("iPhone") || s.contains("Android") {
+            return DeviceClass::MobileBrowser;
+        }
+        if s.contains("Firefox/")
+            || s.contains("Chrome/")
+            || s.contains("Trident/")
+            || s.contains("MSIE ")
+            || s.contains("Safari/")
+        {
+            return DeviceClass::DesktopBrowser;
+        }
+        DeviceClass::Unknown
+    }
+}
+
+impl fmt::Display for UserAgent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesize_and_classify_desktop_families() {
+        for (fam, ver) in [
+            (BrowserFamily::Firefox, 38),
+            (BrowserFamily::Chrome, 44),
+            (BrowserFamily::InternetExplorer, 11),
+            (BrowserFamily::Safari, 8),
+        ] {
+            let ua = UserAgent::desktop(fam, Os::Windows, ver);
+            assert_eq!(ua.family(), fam, "ua: {}", ua.raw);
+            assert_eq!(ua.device_class(), DeviceClass::DesktopBrowser);
+        }
+    }
+
+    #[test]
+    fn synthesize_and_classify_mobile() {
+        let ios = UserAgent::mobile(Os::Ios, 4);
+        assert_eq!(ios.device_class(), DeviceClass::MobileBrowser);
+        assert_eq!(ios.family(), BrowserFamily::Mobile);
+        let android = UserAgent::mobile(Os::Android, 43);
+        assert_eq!(android.device_class(), DeviceClass::MobileBrowser);
+        assert_eq!(android.family(), BrowserFamily::Mobile);
+    }
+
+    #[test]
+    fn classify_non_browsers() {
+        let cases = [
+            (DeviceClass::MobileApp, 3),
+            (DeviceClass::GameConsole, 2),
+            (DeviceClass::SmartTv, 4),
+            (DeviceClass::SoftwareUpdater, 1),
+            (DeviceClass::MediaPlayer, 2),
+        ];
+        for (class, v) in cases {
+            let ua = UserAgent::non_browser(class, v);
+            assert_eq!(ua.device_class(), class, "ua: {}", ua.raw);
+            assert_eq!(ua.family(), BrowserFamily::NonBrowser);
+            assert!(!ua.device_class().is_browser());
+        }
+    }
+
+    #[test]
+    fn chrome_beats_safari_token() {
+        // Chrome UAs end in "Safari/537.36"; the classifier must not call
+        // them Safari.
+        let ua = UserAgent::desktop(BrowserFamily::Chrome, Os::Linux, 44);
+        assert!(ua.raw.contains("Safari/"));
+        assert_eq!(ua.family(), BrowserFamily::Chrome);
+    }
+
+    #[test]
+    fn unknown_strings() {
+        let ua = UserAgent {
+            raw: "curl/7.43.0".into(),
+        };
+        assert_eq!(ua.device_class(), DeviceClass::Unknown);
+        assert_eq!(ua.family(), BrowserFamily::NonBrowser);
+    }
+
+    #[test]
+    fn family_predicates() {
+        assert!(BrowserFamily::Firefox.is_desktop_browser());
+        assert!(!BrowserFamily::Mobile.is_desktop_browser());
+        assert!(BrowserFamily::Mobile.is_browser());
+        assert!(!BrowserFamily::NonBrowser.is_browser());
+    }
+
+    #[test]
+    fn distinct_variants_distinct_strings() {
+        let a = UserAgent::non_browser(DeviceClass::MobileApp, 1);
+        let b = UserAgent::non_browser(DeviceClass::MobileApp, 2);
+        assert_ne!(a.raw, b.raw);
+    }
+}

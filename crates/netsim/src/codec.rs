@@ -1,0 +1,207 @@
+//! Trace persistence: a versioned newline-delimited JSON format.
+//!
+//! The first line is a header object (`{"format":"annoyed-users-trace",
+//! "version":1, "meta":{...}}`); each subsequent line is one
+//! [`TraceRecord`]. NDJSON keeps the reader streaming-friendly — traces can
+//! be bigger than memory on the writing side — while staying debuggable
+//! with standard tools.
+
+use crate::record::{Trace, TraceMeta, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Format magic string.
+pub const FORMAT_NAME: &str = "annoyed-users-trace";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    format: String,
+    version: u32,
+    meta: TraceMeta,
+}
+
+/// Errors from reading a trace stream.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Header missing or malformed.
+    BadHeader(String),
+    /// A record line failed to parse.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// Parse error description.
+        error: String,
+    },
+    /// Unsupported version.
+    Version(u32),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "I/O error: {e}"),
+            CodecError::BadHeader(e) => write!(f, "bad trace header: {e}"),
+            CodecError::BadRecord { line, error } => {
+                write!(f, "bad record at line {line}: {error}")
+            }
+            CodecError::Version(v) => write!(f, "unsupported trace version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+/// Write a trace to any sink.
+pub fn write_trace<W: Write>(trace: &Trace, sink: W) -> Result<(), CodecError> {
+    let mut w = BufWriter::new(sink);
+    let header = Header {
+        format: FORMAT_NAME.to_string(),
+        version: FORMAT_VERSION,
+        meta: trace.meta.clone(),
+    };
+    serde_json::to_writer(&mut w, &header).map_err(|e| CodecError::BadHeader(e.to_string()))?;
+    w.write_all(b"\n")?;
+    for r in &trace.records {
+        serde_json::to_writer(&mut w, r).map_err(|e| CodecError::BadRecord {
+            line: 0,
+            error: e.to_string(),
+        })?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a trace from any source.
+pub fn read_trace<R: Read>(source: R) -> Result<Trace, CodecError> {
+    let mut reader = BufReader::new(source);
+    let mut first = String::new();
+    reader.read_line(&mut first)?;
+    if first.trim().is_empty() {
+        return Err(CodecError::BadHeader("empty stream".to_string()));
+    }
+    let header: Header =
+        serde_json::from_str(first.trim()).map_err(|e| CodecError::BadHeader(e.to_string()))?;
+    if header.format != FORMAT_NAME {
+        return Err(CodecError::BadHeader(format!(
+            "unexpected format {:?}",
+            header.format
+        )));
+    }
+    if header.version != FORMAT_VERSION {
+        return Err(CodecError::Version(header.version));
+    }
+    let mut records = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(&line).map_err(|e| CodecError::BadRecord {
+                line: i + 2,
+                error: e.to_string(),
+            })?;
+        records.push(rec);
+    }
+    Ok(Trace {
+        meta: header.meta,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TlsConnection;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                name: "RBN-T".into(),
+                duration_secs: 60.0,
+                subscribers: 3,
+                start_hour: 15,
+                start_weekday: 1,
+            },
+            records: vec![TraceRecord::Https(TlsConnection {
+                ts: 1.5,
+                client_ip: 7,
+                server_ip: 9,
+                server_port: 443,
+                bytes: 1234,
+            })],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            read_trace(io::empty()),
+            Err(CodecError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_format() {
+        let bad = br#"{"format":"something-else","version":1,"meta":{"name":"x","duration_secs":1.0,"subscribers":1,"start_hour":0,"start_weekday":0}}"#;
+        let mut data = bad.to_vec();
+        data.push(b'\n');
+        assert!(matches!(
+            read_trace(data.as_slice()),
+            Err(CodecError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let bad = br#"{"format":"annoyed-users-trace","version":99,"meta":{"name":"x","duration_secs":1.0,"subscribers":1,"start_hour":0,"start_weekday":0}}"#;
+        let mut data = bad.to_vec();
+        data.push(b'\n');
+        assert!(matches!(
+            read_trace(data.as_slice()),
+            Err(CodecError::Version(99))
+        ));
+    }
+
+    #[test]
+    fn reports_bad_record_line() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        buf.extend_from_slice(b"{not json}\n");
+        match read_trace(buf.as_slice()) {
+            Err(CodecError::BadRecord { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BadRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.records.len(), 1);
+    }
+}

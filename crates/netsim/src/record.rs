@@ -1,0 +1,195 @@
+//! Trace records: what the DAG-style monitor writes to disk.
+
+use http_model::HttpTransaction;
+use serde::{Deserialize, Serialize};
+
+/// An opaque HTTPS flow record. Port-based classification tells the monitor
+/// this is TLS on 443; nothing inside the connection is visible. The paper
+/// uses exactly two properties of such flows: the server address (matched
+/// against the list of Adblock Plus server IPs) and the byte volume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlsConnection {
+    /// Seconds since trace start.
+    pub ts: f64,
+    /// Anonymized client address label.
+    pub client_ip: u32,
+    /// Server address label.
+    pub server_ip: u32,
+    /// Server port (443).
+    pub server_port: u16,
+    /// Total bytes transferred over the connection.
+    pub bytes: u64,
+}
+
+/// One captured record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// An HTTP transaction with header fields (TCP port 80).
+    Http(HttpTransaction),
+    /// An opaque TLS flow (TCP port 443).
+    Https(TlsConnection),
+}
+
+impl TraceRecord {
+    /// Timestamp of the record.
+    pub fn ts(&self) -> f64 {
+        match self {
+            TraceRecord::Http(t) => t.ts,
+            TraceRecord::Https(t) => t.ts,
+        }
+    }
+
+    /// Anonymized client address.
+    pub fn client_ip(&self) -> u32 {
+        match self {
+            TraceRecord::Http(t) => t.client_ip,
+            TraceRecord::Https(t) => t.client_ip,
+        }
+    }
+}
+
+/// Metadata of a captured trace — the fields of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Trace name, e.g. `RBN-1`.
+    pub name: String,
+    /// Capture duration in seconds.
+    pub duration_secs: f64,
+    /// Number of DSL subscriber lines behind the monitor.
+    pub subscribers: usize,
+    /// Hour-of-day (0–23) at which the capture started — Figures 5a/5b need
+    /// wall-clock alignment.
+    pub start_hour: u32,
+    /// Day-of-week at capture start, 0 = Monday … 6 = Sunday.
+    pub start_weekday: u32,
+}
+
+/// A captured trace: metadata plus records ordered by timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Capture metadata.
+    pub meta: TraceMeta,
+    /// The records.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Count of HTTP transactions.
+    pub fn http_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Http(_)))
+            .count()
+    }
+
+    /// Count of HTTPS flow records.
+    pub fn https_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Https(_)))
+            .count()
+    }
+
+    /// Total HTTP body bytes (the Table 2 "HTTPbytes" figure).
+    pub fn http_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Http(t) => Some(t.body_bytes()),
+                TraceRecord::Https(_) => None,
+            })
+            .sum()
+    }
+
+    /// Iterate the HTTP transactions.
+    pub fn http_transactions(&self) -> impl Iterator<Item = &HttpTransaction> {
+        self.records.iter().filter_map(|r| match r {
+            TraceRecord::Http(t) => Some(t),
+            TraceRecord::Https(_) => None,
+        })
+    }
+
+    /// Iterate the HTTPS flows.
+    pub fn https_flows(&self) -> impl Iterator<Item = &TlsConnection> {
+        self.records.iter().filter_map(|r| match r {
+            TraceRecord::Https(t) => Some(t),
+            TraceRecord::Http(_) => None,
+        })
+    }
+
+    /// Verify records are time-ordered (capture invariant).
+    pub fn is_time_ordered(&self) -> bool {
+        self.records.windows(2).all(|w| w[0].ts() <= w[1].ts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use http_model::transaction::Method;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+
+    fn http_record(ts: f64, bytes: u64) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts,
+            client_ip: 1,
+            server_ip: 2,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders::default(),
+            response: ResponseHeaders {
+                status: 200,
+                content_type: None,
+                content_length: Some(bytes),
+                location: None,
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: 2.0,
+        })
+    }
+
+    fn https_record(ts: f64) -> TraceRecord {
+        TraceRecord::Https(TlsConnection {
+            ts,
+            client_ip: 1,
+            server_ip: 3,
+            server_port: 443,
+            bytes: 4000,
+        })
+    }
+
+    #[test]
+    fn counting() {
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: 10.0,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 5,
+            },
+            records: vec![http_record(0.0, 100), https_record(1.0), http_record(2.0, 50)],
+        };
+        assert_eq!(trace.http_count(), 2);
+        assert_eq!(trace.https_count(), 1);
+        assert_eq!(trace.http_bytes(), 150);
+        assert!(trace.is_time_ordered());
+        assert_eq!(trace.http_transactions().count(), 2);
+        assert_eq!(trace.https_flows().count(), 1);
+    }
+
+    #[test]
+    fn time_order_violation_detected() {
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "t".into(),
+                duration_secs: 10.0,
+                subscribers: 1,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records: vec![http_record(5.0, 1), http_record(2.0, 1)],
+        };
+        assert!(!trace.is_time_ordered());
+    }
+}

@@ -1,0 +1,99 @@
+//! A Zipf-ranked top-site list (the Alexa-top-1000 stand-in).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A popularity-ranked list of publisher indices with Zipf sampling.
+///
+/// The paper's active measurement crawls the Alexa top 1000; its passive
+/// traces reflect real users whose site choices are heavily skewed toward
+/// popular sites. Both uses are served by this type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopSites {
+    /// Publisher indices in rank order (rank 0 = most popular).
+    ranked: Vec<usize>,
+    /// Precomputed cumulative Zipf weights for sampling.
+    cumulative: Vec<f64>,
+}
+
+impl TopSites {
+    /// Build from a rank ordering with Zipf exponent `s` (~0.9 for web site
+    /// popularity).
+    pub fn new(ranked: Vec<usize>, s: f64) -> TopSites {
+        assert!(!ranked.is_empty(), "need at least one site");
+        let mut cumulative = Vec::with_capacity(ranked.len());
+        let mut acc = 0.0;
+        for rank in 0..ranked.len() {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        TopSites { ranked, cumulative }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// True when empty (cannot happen after construction).
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    /// The top `n` publisher indices in rank order (the crawl list).
+    pub fn top(&self, n: usize) -> &[usize] {
+        &self.ranked[..n.min(self.ranked.len())]
+    }
+
+    /// Sample a publisher index Zipf-weighted by rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        self.ranked[idx.min(self.ranked.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn top_slice() {
+        let t = TopSites::new(vec![5, 3, 9, 1], 0.9);
+        assert_eq!(t.top(2), &[5, 3]);
+        assert_eq!(t.top(99), &[5, 3, 9, 1]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn sampling_respects_rank_skew() {
+        let t = TopSites::new((0..100).collect(), 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 50 by a large factor.
+        assert!(counts[0] > counts[50] * 5, "c0={} c50={}", counts[0], counts[50]);
+        // Everything gets some probability mass.
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 90);
+    }
+
+    #[test]
+    fn sample_in_range() {
+        let t = TopSites::new(vec![7], 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        TopSites::new(vec![], 0.9);
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic ad-scape generator.
+//!
+//! The paper measures the *real* web: publishers embedding third-party ads,
+//! trackers, RTB exchanges, CDNs and clouds, filtered through the real
+//! EasyList / EasyPrivacy / acceptable-ads lists. None of that data is
+//! shippable, so this crate generates a closed synthetic ecosystem with the
+//! same structure — and, crucially, generates the **filter lists and the
+//! web consistently with each other**, so the relationship the paper
+//! measures (what fraction of traffic each list catches, what the whitelist
+//! overrides, which infrastructures serve ads) is reproduced by
+//! construction and can then be *measured* through the same passive
+//! pipeline the paper uses.
+//!
+//! Components:
+//!
+//! * [`asn`] — an AS registry with the player categories of Table 5
+//!   (search giant, clouds, CDNs, dedicated ad-tech, hosting).
+//! * [`infra`] — server pools: which IPs exist, in which AS/region, and
+//!   with which backend class (static / dynamic / RTB / CDN-miss).
+//! * [`adtech`] — ad networks, exchanges, trackers and analytics services,
+//!   including which are whitelisted by the acceptable-ads programme.
+//! * [`publisher`] + [`page`] — site categories, page templates, and the
+//!   objects a page load fetches (with ground-truth ad/tracker labels).
+//! * [`alexa`] — a Zipf-ranked top-site list.
+//! * [`filterlists`] — renders EasyList/EasyPrivacy/acceptable-ads (and a
+//!   language-derivative list) as *text* in the real syntax, which the
+//!   `abp-filter` crate then parses like any downloaded list.
+//! * [`ecosystem`] — ties everything together under one seeded generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adtech;
+pub mod alexa;
+pub mod asn;
+pub mod ecosystem;
+pub mod filterlists;
+pub mod infra;
+pub mod page;
+pub mod publisher;
+
+pub use adtech::{AdTechCompany, AdTechKind};
+pub use alexa::TopSites;
+pub use asn::{AsId, AsInfo, AsKind, AsRegistry};
+pub use ecosystem::{Ecosystem, EcosystemConfig};
+pub use infra::{Server, ServerRegistry};
+pub use page::{ObjectKind, PageObject, PageTemplate, SizeClass};
+pub use publisher::{Publisher, SiteCategory};

@@ -1,0 +1,73 @@
+//! The §4 active-measurement study: an instrumented browser crawls the top
+//! sites under seven profiles (Vanilla, three Adblock Plus configurations,
+//! three Ghostery modes), the traffic is captured, and the passive
+//! classifier validates itself against the in-browser behaviour —
+//! regenerating Table 1 of the paper at a configurable scale.
+//!
+//! ```sh
+//! cargo run --release --example active_measurement -- [sites]
+//! ```
+
+use annoyed_users::prelude::*;
+use browsersim::active::run_crawl;
+
+fn main() {
+    let sites: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+
+    let eco = Ecosystem::generate(EcosystemConfig {
+        publishers: sites.max(100),
+        seed: 0xACCE,
+        ..Default::default()
+    });
+    let classifier = PassiveClassifier::new(vec![
+        eco.lists.easylist(),
+        eco.lists.regional(),
+        eco.lists.easyprivacy(),
+        eco.lists.acceptable(),
+    ]);
+
+    println!("crawling top {sites} sites with 7 browser profiles...\n");
+    let results = run_crawl(&eco, &ActiveConfig { sites, seed: 7 });
+
+    println!(
+        "{:<13} {:>8} {:>8} {:>8} {:>8}",
+        "Browser Mode", "#HTTPS", "#HTTP", "ELhits", "EPhits"
+    );
+    println!("{}", "-".repeat(50));
+    for run in &results.runs {
+        let classified = adscope::pipeline::classify_trace(
+            &run.trace,
+            &classifier,
+            PipelineOptions::default(),
+        );
+        let el = classified
+            .requests
+            .iter()
+            .filter(|r| {
+                r.label.blocked_by(ListKind::EasyList) || r.label.blocked_by(ListKind::Regional)
+            })
+            .count();
+        let ep = classified
+            .requests
+            .iter()
+            .filter(|r| r.label.blocked_by(ListKind::EasyPrivacy))
+            .count();
+        println!(
+            "{:<13} {:>8} {:>8} {:>8} {:>8}",
+            run.profile.label(),
+            run.trace.https_count(),
+            run.trace.http_count(),
+            el,
+            ep
+        );
+    }
+    println!(
+        "\nLike Table 1 of the paper: ad-blockers lessen the total number of\n\
+         requests, and the blocked dimension's hit counts collapse — the\n\
+         residual hits for blocker profiles are the methodology's false\n\
+         positives plus traffic the respective blocker does not cover."
+    );
+}

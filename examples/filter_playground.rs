@@ -1,0 +1,95 @@
+//! Filter-engine playground: parse EasyList-syntax rules and classify URLs
+//! interactively from the command line.
+//!
+//! ```sh
+//! cargo run --example filter_playground -- 'http://ads.tracker.example/pixel/p.gif'
+//! ```
+//!
+//! Without arguments it runs a demonstration over the synthetic ecosystem's
+//! generated lists, showing blocking, whitelisting, `$document` page
+//! whitelisting, type options, and element hiding.
+
+use annoyed_users::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Hand-written rules demonstrating the full syntax surface.
+    let easylist = FilterList::parse(
+        "easylist",
+        "! Demonstration list (EasyList syntax)\n\
+         ||adserver.example^$third-party\n\
+         /banners/*.gif\n\
+         |http://exact.example/ad.js|\n\
+         ||media.example^$media,domain=~whitelisted-site.example\n\
+         &ad_box_\n\
+         @@||adserver.example/required-assets/\n\
+         example.com##.ad-sidebar\n\
+         ##.generic-ad\n",
+    );
+    let acceptable = FilterList::parse(
+        "acceptable-ads",
+        "@@||nice-ads.example^\n@@||partner-cdn.example^$document\n",
+    );
+    let mut engine = Engine::new();
+    let el = engine.add_list(easylist);
+    let aa = engine.add_list(acceptable);
+    println!(
+        "engine: {} network filters loaded into lists {:?}",
+        engine.filter_count(),
+        [engine.list_name(el), engine.list_name(aa)]
+    );
+
+    let page = Url::parse("http://news.site.example/article").unwrap();
+    let demos = if args.is_empty() {
+        vec![
+            ("http://adserver.example/serve?slot=1", ContentCategory::Script),
+            ("http://cdn.site.example/banners/top.gif", ContentCategory::Image),
+            ("http://exact.example/ad.js", ContentCategory::Script),
+            ("http://media.example/spot.mp4", ContentCategory::Media),
+            ("http://site.example/page?&ad_box_=1", ContentCategory::Document),
+            ("http://adserver.example/required-assets/f.css", ContentCategory::Stylesheet),
+            ("http://nice-ads.example/banner.gif", ContentCategory::Image),
+            ("http://plain.example/logo.png", ContentCategory::Image),
+        ]
+        .into_iter()
+        .map(|(u, c)| (u.to_string(), c))
+        .collect()
+    } else {
+        args.into_iter()
+            .map(|u| (u, ContentCategory::Other))
+            .collect::<Vec<_>>()
+    };
+
+    println!("\npage context: {page}\n");
+    for (url_str, category) in demos {
+        match Url::parse(&url_str) {
+            Ok(url) => {
+                let verdict = engine.classify(&Request {
+                    url: &url,
+                    source_url: Some(&page),
+                    category,
+                });
+                let outcome = if verdict.would_block() {
+                    "BLOCKED"
+                } else if verdict.exception.is_some() {
+                    "WHITELISTED"
+                } else {
+                    "allowed"
+                };
+                print!("{outcome:<12} {url_str}");
+                if let Some(hit) = verdict.blocking.first() {
+                    print!("   [rule: {}]", hit.filter);
+                }
+                if let Some(exc) = &verdict.exception {
+                    print!("   [exception: {}]", exc.filter);
+                }
+                println!();
+            }
+            Err(e) => println!("unparseable  {url_str}: {e}"),
+        }
+    }
+
+    println!("\nelement hiding on example.com: {:?}", engine.hiding_selectors("example.com"));
+    println!("element hiding elsewhere:      {:?}", engine.hiding_selectors("other.org"));
+}

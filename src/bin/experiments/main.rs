@@ -1,0 +1,80 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id>... [--scale small|medium|large] [--seed N]
+//!
+//! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
+//!      fig6 sec73 sec81 table5 fig7 validation all
+//! ```
+
+mod experiments;
+mod world;
+
+use std::io::Write;
+use world::{Scale, World};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::Medium;
+    let mut seed: u64 = 0x5eed;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("bad --scale value"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --seed value"));
+            }
+            "--help" | "-h" => usage(""),
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage("no experiment given");
+    }
+    if ids.iter().any(|s| s == "all") {
+        ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let mut world = World::new(scale, seed);
+    let mut out = String::new();
+    for id in &ids {
+        match experiments::run(id, &mut world) {
+            Some(section) => {
+                println!("{section}");
+                out.push_str(&section);
+                out.push('\n');
+            }
+            None => usage(&format!("unknown experiment {id:?}")),
+        }
+    }
+    // Persist the combined output for EXPERIMENTS.md refreshes.
+    if ids.len() > 1 {
+        if let Ok(mut f) = std::fs::File::create("experiments_output.txt") {
+            let _ = f.write_all(out.as_bytes());
+            eprintln!("[experiments] combined output written to experiments_output.txt");
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: experiments <id>... [--scale small|medium|large] [--seed N]\n\
+         ids: {} all",
+        experiments::ALL_IDS.join(" ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
