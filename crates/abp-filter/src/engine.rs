@@ -6,11 +6,10 @@ use crate::rule::NetFilter;
 use crate::subscription::FilterList;
 use crate::tokenizer::{filter_token, url_tokens};
 use http_model::{is_third_party, ContentCategory, Url};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a list loaded into an [`Engine`], in insertion order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ListId(pub usize);
 
 /// A request to classify: URL, optional page context, content category.
@@ -31,7 +30,7 @@ pub struct Request<'a> {
 }
 
 /// A reference to a filter that matched: which list and which rule text.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterRef {
     /// The list the filter came from.
     pub list: ListId,
@@ -40,7 +39,7 @@ pub struct FilterRef {
 }
 
 /// Result of classifying one request.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Classification {
     /// Blocking matches, at most one per list, in list order.
     pub blocking: Vec<FilterRef>,
@@ -439,10 +438,7 @@ mod tests {
 
     #[test]
     fn both_lists_match_distinct_rules() {
-        let (e, ids) = engine_with(&[
-            ("easylist", "/ads/\n"),
-            ("easyprivacy", "/adspixel\n"),
-        ]);
+        let (e, ids) = engine_with(&[("easylist", "/ads/\n"), ("easyprivacy", "/adspixel\n")]);
         let c = classify(
             &e,
             "http://x.com/ads/adspixel.gif",
@@ -535,10 +531,7 @@ mod tests {
 
     #[test]
     fn query_literals_exported() {
-        let (e, _) = engine_with(&[(
-            "easylist",
-            "@@*jsp?callback=aslHandleAds*\n/track?id=*\n",
-        )]);
+        let (e, _) = engine_with(&[("easylist", "@@*jsp?callback=aslHandleAds*\n/track?id=*\n")]);
         let lits = e.query_literals();
         assert!(lits.iter().any(|l| l.contains("callback=aslhandleads")));
         assert!(lits.iter().any(|l| l.contains("track?id=")));
@@ -559,6 +552,9 @@ mod tests {
         ]);
         assert_eq!(e.filter_count(), 3);
         assert_eq!(e.list_name(ids[0]), "easylist");
-        assert_eq!(e.list_names(), &["easylist".to_string(), "easyprivacy".to_string()]);
+        assert_eq!(
+            e.list_names(),
+            &["easylist".to_string(), "easyprivacy".to_string()]
+        );
     }
 }

@@ -8,10 +8,9 @@
 //! validation quantifies that blind spot.
 
 use http_model::is_subdomain_or_same;
-use serde::{Deserialize, Serialize};
 
 /// One element-hiding rule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HidingRule {
     /// Domains the rule is limited to. Empty = global rule.
     pub include_domains: Vec<String>,
@@ -68,7 +67,10 @@ impl HidingRule {
 /// hiding rules that apply minus selectors with a matching exception.
 pub fn selectors_for<'a>(rules: &'a [HidingRule], host: &str) -> Vec<&'a str> {
     let mut hidden: Vec<&str> = Vec::new();
-    for r in rules.iter().filter(|r| !r.is_exception && r.applies_to(host)) {
+    for r in rules
+        .iter()
+        .filter(|r| !r.is_exception && r.applies_to(host))
+    {
         hidden.push(r.selector.as_str());
     }
     hidden.retain(|sel| {

@@ -148,7 +148,12 @@ mod tests {
 
     #[test]
     fn plain_substring() {
-        assert!(m("/ads/", Anchor::None, false, "http://x.com/ads/banner.gif"));
+        assert!(m(
+            "/ads/",
+            Anchor::None,
+            false,
+            "http://x.com/ads/banner.gif"
+        ));
         assert!(!m("/ads/", Anchor::None, false, "http://x.com/content/"));
     }
 
@@ -170,7 +175,12 @@ mod tests {
 
     #[test]
     fn start_anchor() {
-        assert!(m("http://bad.", Anchor::Start, false, "http://bad.example/x"));
+        assert!(m(
+            "http://bad.",
+            Anchor::Start,
+            false,
+            "http://bad.example/x"
+        ));
         assert!(!m("bad.", Anchor::Start, false, "http://bad.example/x"));
     }
 
@@ -182,7 +192,12 @@ mod tests {
 
     #[test]
     fn hostname_anchor_exact_and_subdomain() {
-        assert!(m("example.com^", Anchor::Hostname, false, "http://example.com/"));
+        assert!(m(
+            "example.com^",
+            Anchor::Hostname,
+            false,
+            "http://example.com/"
+        ));
         assert!(m(
             "example.com^",
             Anchor::Hostname,
@@ -218,9 +233,24 @@ mod tests {
     #[test]
     fn separator_semantics() {
         // '^' matches '/', '?', ':', end — not letters/digits/._-%
-        assert!(m("example.com^", Anchor::Hostname, false, "http://example.com/"));
-        assert!(m("example.com^", Anchor::Hostname, false, "http://example.com:8080/"));
-        assert!(m("example.com^", Anchor::Hostname, false, "http://example.com"));
+        assert!(m(
+            "example.com^",
+            Anchor::Hostname,
+            false,
+            "http://example.com/"
+        ));
+        assert!(m(
+            "example.com^",
+            Anchor::Hostname,
+            false,
+            "http://example.com:8080/"
+        ));
+        assert!(m(
+            "example.com^",
+            Anchor::Hostname,
+            false,
+            "http://example.com"
+        ));
         assert!(!m(
             "example.com^",
             Anchor::Hostname,
@@ -273,12 +303,7 @@ mod tests {
         // The first occurrence fails, a later one succeeds — matcher must
         // keep scanning.
         assert!(m("ad*gif", Anchor::None, false, "http://x.com/adx/ad.gif"));
-        assert!(m(
-            "ads/x",
-            Anchor::None,
-            false,
-            "http://x.com/ads/ads/x"
-        ));
+        assert!(m("ads/x", Anchor::None, false, "http://x.com/ads/ads/x"));
     }
 
     #[test]

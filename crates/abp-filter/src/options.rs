@@ -1,10 +1,9 @@
 //! `$`-option handling for network filters.
 
 use http_model::{is_subdomain_or_same, ContentCategory};
-use serde::{Deserialize, Serialize};
 
 /// First/third-party constraint from `$third-party` / `$~third-party`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PartyConstraint {
     /// No constraint.
     #[default]
@@ -21,7 +20,7 @@ pub enum PartyConstraint {
 /// with no type options applies to every category except `Document` and
 /// `Subdocument` restrictions follow Adblock Plus semantics: plain blocking
 /// rules apply to all resource types unless narrowed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterOptions {
     /// Bitmask of categories the rule applies to.
     type_mask: u16,

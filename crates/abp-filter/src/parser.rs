@@ -67,7 +67,10 @@ fn find_hiding_separator(line: &str) -> Option<usize> {
     let bytes = line.as_bytes();
     let mut i = 0;
     while i + 1 < bytes.len() {
-        if bytes[i] == b'#' && (bytes[i + 1] == b'#' || (bytes[i + 1] == b'@' && i + 2 < bytes.len() && bytes[i + 2] == b'#')) {
+        if bytes[i] == b'#'
+            && (bytes[i + 1] == b'#'
+                || (bytes[i + 1] == b'@' && i + 2 < bytes.len() && bytes[i + 2] == b'#'))
+        {
             return Some(i);
         }
         i += 1;
@@ -294,7 +297,10 @@ mod tests {
 
     #[test]
     fn empty_selector_invalid() {
-        assert!(matches!(parse_line("example.com##"), ParsedLine::Invalid { .. }));
+        assert!(matches!(
+            parse_line("example.com##"),
+            ParsedLine::Invalid { .. }
+        ));
     }
 
     #[test]

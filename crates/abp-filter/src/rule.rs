@@ -1,10 +1,9 @@
 //! Parsed network-filter representation.
 
 use crate::options::FilterOptions;
-use serde::{Deserialize, Serialize};
 
 /// Where the pattern is anchored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Anchor {
     /// Unanchored: the pattern may match anywhere in the URL.
     #[default]
@@ -17,7 +16,7 @@ pub enum Anchor {
 }
 
 /// One segment of a compiled pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Segment {
     /// Literal text (lowercased unless `$match-case`).
     Literal(String),
@@ -28,7 +27,7 @@ pub enum Segment {
 }
 
 /// A compiled filter pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Pattern {
     /// Start anchoring.
     pub anchor: Anchor,
@@ -106,7 +105,7 @@ fn take_lit(lit: &mut String, match_case: bool) -> String {
 }
 
 /// A parsed network filter (blocking or exception).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetFilter {
     /// The original filter line, for reporting (the paper prints matched
     /// rules like `@@*jsp?callback=aslHandleAds*`).
@@ -148,9 +147,15 @@ mod tests {
     #[test]
     fn compile_lowercases_by_default() {
         let p = Pattern::compile("/ADS/Banner", Anchor::None, false, false);
-        assert_eq!(p.segments, vec![Segment::Literal("/ads/banner".to_string())]);
+        assert_eq!(
+            p.segments,
+            vec![Segment::Literal("/ads/banner".to_string())]
+        );
         let c = Pattern::compile("/ADS/Banner", Anchor::None, false, true);
-        assert_eq!(c.segments, vec![Segment::Literal("/ADS/Banner".to_string())]);
+        assert_eq!(
+            c.segments,
+            vec![Segment::Literal("/ADS/Banner".to_string())]
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 use crate::hiding::HidingRule;
 use crate::parser::{parse_document, ParsedDocument};
 use crate::rule::NetFilter;
-use serde::{Deserialize, Serialize};
 
 /// EasyList soft expiry (days) per its list header.
 pub const EASYLIST_SOFT_EXPIRY_DAYS: f64 = 4.0;
@@ -87,7 +86,7 @@ impl FilterList {
 
 /// Tracks when a subscribed list was last fetched and decides when the
 /// plugin contacts the Adblock Plus servers again.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubscriptionState {
     /// Soft expiry in seconds.
     pub expiry_secs: f64,
@@ -141,10 +140,7 @@ mod tests {
 
     #[test]
     fn rule_count() {
-        let l = FilterList::parse(
-            "x",
-            "||a.com^\n@@||b.com^$document\nc.com##.ad\n! note\n",
-        );
+        let l = FilterList::parse("x", "||a.com^\n@@||b.com^$document\nc.com##.ad\n! note\n");
         assert_eq!(l.blocking.len(), 1);
         assert_eq!(l.exceptions.len(), 1);
         assert_eq!(l.hiding.len(), 1);

@@ -35,7 +35,13 @@ pub fn content_type_table(trace: &ClassifiedTrace, top_n: usize) -> Vec<ContentT
         let mime = r
             .content_type
             .as_deref()
-            .map(|m| m.split(';').next().unwrap_or("").trim().to_ascii_lowercase())
+            .map(|m| {
+                m.split(';')
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_ascii_lowercase()
+            })
             .filter(|m| !m.is_empty())
             .unwrap_or_else(|| "-".to_string());
         let acc = map.entry(mime).or_default();

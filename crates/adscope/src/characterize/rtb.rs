@@ -65,7 +65,11 @@ pub fn high_latency_shares(trace: &ClassifiedTrace, threshold_ms: f64) -> (f64, 
 /// The organizations behind high-latency ad requests: registrable domains
 /// of ad requests with gap ≥ `threshold_ms`, with their share of that
 /// population (the paper's DoubleClick/Mopub/Rubicon/Pubmatic/Criteo list).
-pub fn rtb_organizations(trace: &ClassifiedTrace, threshold_ms: f64, top_n: usize) -> Vec<(String, f64)> {
+pub fn rtb_organizations(
+    trace: &ClassifiedTrace,
+    threshold_ms: f64,
+    top_n: usize,
+) -> Vec<(String, f64)> {
     let mut counts: HashMap<String, u64> = HashMap::new();
     let mut total = 0u64;
     for r in &trace.requests {

@@ -84,7 +84,11 @@ pub fn size_densities(trace: &ClassifiedTrace) -> (SizeDensities, SizeDensities)
         let Some(class) = MimeClass::from_mime(mime) else {
             continue;
         };
-        let target = if r.label.is_ad() { &mut ads } else { &mut nonads };
+        let target = if r.label.is_ad() {
+            &mut ads
+        } else {
+            &mut nonads
+        };
         target
             .iter_mut()
             .find(|(c, _)| *c == class)

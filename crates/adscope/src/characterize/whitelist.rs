@@ -127,7 +127,11 @@ pub fn entity_benefits(
             whitelisted,
         })
         .collect();
-    out.sort_by(|a, b| b.benefit_pct().partial_cmp(&a.benefit_pct()).expect("finite"));
+    out.sort_by(|a, b| {
+        b.benefit_pct()
+            .partial_cmp(&a.benefit_pct())
+            .expect("finite")
+    });
     out
 }
 
@@ -238,13 +242,27 @@ mod tests {
     #[test]
     fn entity_benefits_by_publisher() {
         let t = classified(vec![
-            tx("goodads.example", "/w.gif", Some("http://www.happy.example/")),
-            tx("x.example", "/banners/a.gif", Some("http://www.grumpy.example/")),
+            tx(
+                "goodads.example",
+                "/w.gif",
+                Some("http://www.happy.example/"),
+            ),
+            tx(
+                "x.example",
+                "/banners/a.gif",
+                Some("http://www.grumpy.example/"),
+            ),
         ]);
         let benefits = entity_benefits(&t, EntityKey::Publisher, 1);
-        let happy = benefits.iter().find(|b| b.entity == "happy.example").unwrap();
+        let happy = benefits
+            .iter()
+            .find(|b| b.entity == "happy.example")
+            .unwrap();
         assert_eq!(happy.benefit_pct(), 100.0);
-        let grumpy = benefits.iter().find(|b| b.entity == "grumpy.example").unwrap();
+        let grumpy = benefits
+            .iter()
+            .find(|b| b.entity == "grumpy.example")
+            .unwrap();
         assert_eq!(grumpy.benefit_pct(), 0.0);
     }
 

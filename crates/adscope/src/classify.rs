@@ -2,11 +2,10 @@
 
 use abp_filter::{Classification, Engine, FilterList, ListId, Request};
 use http_model::{ContentCategory, Url};
-use serde::{Deserialize, Serialize};
 
 /// Which conceptual list a verdict belongs to, independent of engine load
 /// order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ListKind {
     /// Core EasyList.
     EasyList,
@@ -53,7 +52,7 @@ impl ListKind {
 
 /// Primary attribution of an ad request, following §7.1: EasyList (and its
 /// derivatives) first, then EasyPrivacy, then whitelist-only hits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Attribution {
     /// Blacklisted by EasyList or a derivative.
     EasyList,
@@ -64,7 +63,7 @@ pub enum Attribution {
 }
 
 /// The compact per-request verdict the pipeline stores.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AdLabel {
     /// Blocking hits per list kind (bitfield over [`ListKind::ALL`] order).
     blocking_mask: u8,
@@ -179,12 +178,7 @@ impl PassiveClassifier {
     }
 
     /// Classify one request.
-    pub fn classify(
-        &self,
-        url: &Url,
-        page: Option<&Url>,
-        category: ContentCategory,
-    ) -> AdLabel {
+    pub fn classify(&self, url: &Url, page: Option<&Url>, category: ContentCategory) -> AdLabel {
         let c = self.engine.classify(&Request {
             url,
             source_url: page,

@@ -6,12 +6,12 @@
 //! that log: a vector of [`WebObject`]s with parsed URLs, ready for the
 //! page-metadata reconstruction.
 
+use crate::degrade::DegradationReport;
 use http_model::{HttpTransaction, Url};
 use netsim::record::Trace;
-use serde::{Deserialize, Serialize};
 
 /// One extracted HTTP log entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WebObject {
     /// Index of the transaction within the trace's HTTP records (stable id).
     pub idx: usize,
@@ -51,34 +51,62 @@ impl WebObject {
 /// Extract the HTTP log from a trace. Transactions whose URL cannot be
 /// reassembled (empty Host) are dropped and counted.
 pub fn extract(trace: &Trace) -> (Vec<WebObject>, usize) {
-    let mut out = Vec::with_capacity(trace.records.len());
-    let mut dropped = 0usize;
-    for (idx, tx) in trace.http_transactions().enumerate() {
-        match extract_one(idx, tx) {
-            Some(o) => out.push(o),
-            None => dropped += 1,
-        }
-    }
-    (out, dropped)
+    let (out, report) = extract_with_report(trace);
+    (out, report.quarantined())
 }
 
-fn extract_one(idx: usize, tx: &HttpTransaction) -> Option<WebObject> {
+/// Extract the HTTP log with full per-field degradation accounting.
+///
+/// Unlike [`extract`], this distinguishes *absent* optional headers from
+/// *present-but-unparseable* ones, so corrupted traces (see
+/// `netsim::faults`) can be reconciled against what the pipeline absorbed.
+pub fn extract_with_report(trace: &Trace) -> (Vec<WebObject>, DegradationReport) {
+    let mut out = Vec::with_capacity(trace.records.len());
+    let mut report = DegradationReport::default();
+    for (idx, tx) in trace.http_transactions().enumerate() {
+        match extract_one(idx, tx, &mut report) {
+            Some(o) => out.push(o),
+            None => report.unparseable_urls += 1,
+        }
+    }
+    (out, report)
+}
+
+fn extract_one(
+    idx: usize,
+    tx: &HttpTransaction,
+    report: &mut DegradationReport,
+) -> Option<WebObject> {
     let url = tx.url()?;
+    let referer = tx.referer_url();
+    if tx.request.referer.is_some() && referer.is_none() {
+        report.unparseable_referers += 1;
+    }
+    let location = tx
+        .response
+        .location
+        .as_deref()
+        .and_then(|l| Url::parse(l).ok());
+    if tx.response.location.is_some() && location.is_none() {
+        report.unparseable_locations += 1;
+    }
+    if tx.response.content_type.is_none() {
+        report.missing_content_type += 1;
+    }
+    if tx.request.user_agent.is_none() {
+        report.missing_user_agent += 1;
+    }
     Some(WebObject {
         idx,
         ts: tx.ts,
         client_ip: tx.client_ip,
         server_ip: tx.server_ip,
         url,
-        referer: tx.referer_url(),
+        referer,
         content_type: tx.response.content_type.clone(),
         bytes: tx.response.content_length.unwrap_or(0),
         status: tx.response.status,
-        location: tx
-            .response
-            .location
-            .as_deref()
-            .and_then(|l| Url::parse(l).ok()),
+        location,
         user_agent: tx.request.user_agent.clone(),
         tcp_handshake_ms: tx.tcp_handshake_ms,
         http_handshake_ms: tx.http_handshake_ms,
@@ -158,10 +186,7 @@ mod tests {
         )]);
         let (objs, _) = extract(&t);
         assert_eq!(objs[0].status, 302);
-        assert_eq!(
-            objs[0].location.as_ref().unwrap().host(),
-            "target.example"
-        );
+        assert_eq!(objs[0].location.as_ref().unwrap().host(), "target.example");
     }
 
     #[test]
@@ -177,6 +202,30 @@ mod tests {
         let t = trace(vec![tx("a.example", "/x", Some("garbage referer"), None)]);
         let (objs, _) = extract(&t);
         assert!(objs[0].referer.is_none());
+    }
+
+    #[test]
+    fn report_distinguishes_absent_from_unparseable() {
+        let mut bad_headers = tx("a.example", "/x", Some("not a url"), None);
+        if let TraceRecord::Http(h) = &mut bad_headers {
+            h.response.content_type = None;
+            h.request.user_agent = None;
+            h.response.location = Some(":::".to_string());
+        }
+        let t = trace(vec![
+            bad_headers,
+            tx("", "/quarantined", None, None),
+            tx("b.example", "/clean", None, None),
+        ]);
+        let (objs, report) = extract_with_report(&t);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(report.unparseable_urls, 1);
+        assert_eq!(report.unparseable_referers, 1);
+        assert_eq!(report.unparseable_locations, 1);
+        assert_eq!(report.missing_content_type, 1);
+        assert_eq!(report.missing_user_agent, 1);
+        // Absent referer on the clean record is not an error.
+        assert_eq!(report.quarantined(), 1);
     }
 
     #[test]

@@ -11,7 +11,6 @@
 
 use crate::users::UserAggregate;
 use netsim::record::TlsConnection;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// The ratio threshold (percent) below which a browser qualifies as an
@@ -21,7 +20,7 @@ pub const AD_RATIO_THRESHOLD_PCT: f64 = 5.0;
 pub const ACTIVE_USER_MIN_REQUESTS: u64 = 1_000;
 
 /// The four indicator classes of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UserClass {
     /// High ratio, no downloads: no ad-blocker.
     A,
@@ -189,9 +188,7 @@ pub fn subscription_estimates(
     };
     SubscriptionEstimates {
         easyprivacy_pct: frac(UserClass::C, &|u| u.easyprivacy_hits <= tracker_tolerance),
-        easyprivacy_baseline_pct: frac(UserClass::A, &|u| {
-            u.easyprivacy_hits <= tracker_tolerance
-        }),
+        easyprivacy_baseline_pct: frac(UserClass::A, &|u| u.easyprivacy_hits <= tracker_tolerance),
         acceptable_optout_pct: frac(UserClass::C, &|u| u.whitelist_hits <= whitelist_tolerance),
         acceptable_optout_baseline_pct: frac(UserClass::A, &|u| {
             u.whitelist_hits <= whitelist_tolerance

@@ -30,6 +30,7 @@
 pub mod characterize;
 pub mod classify;
 pub mod content;
+pub mod degrade;
 pub mod extract;
 pub mod infer;
 pub mod normalize;
@@ -38,5 +39,6 @@ pub mod refmap;
 pub mod users;
 
 pub use classify::{AdLabel, Attribution, ListKind, PassiveClassifier};
+pub use degrade::DegradationReport;
 pub use pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
 pub use users::{UserAggregate, UserKey};

@@ -46,7 +46,11 @@ impl UrlNormalizer {
         if self.protected.is_empty() {
             return false;
         }
-        let kv = format!("{}={}", key.to_ascii_lowercase(), value.to_ascii_lowercase());
+        let kv = format!(
+            "{}={}",
+            key.to_ascii_lowercase(),
+            value.to_ascii_lowercase()
+        );
         let keq = format!("{}=", key.to_ascii_lowercase());
         self.protected.iter().any(|lit| {
             lit.contains(&kv) || {
@@ -58,8 +62,7 @@ impl UrlNormalizer {
                         .chars()
                         .take_while(|c| *c != '&' && *c != '?')
                         .collect();
-                    !lit_val.is_empty()
-                        && value.to_ascii_lowercase().starts_with(&lit_val)
+                    !lit_val.is_empty() && value.to_ascii_lowercase().starts_with(&lit_val)
                 })
             }
         })
@@ -132,9 +135,7 @@ mod tests {
     #[test]
     fn long_opaque_tokens_are_dynamic() {
         let n = UrlNormalizer::with_protected(vec![]);
-        let u = n.normalize(&url(
-            "http://a.example/x?sid=deadbeefcafe1234deadbeef",
-        ));
+        let u = n.normalize(&url("http://a.example/x?sid=deadbeefcafe1234deadbeef"));
         assert_eq!(u.query(), Some("sid=X"));
     }
 
@@ -190,9 +191,7 @@ mod tests {
         ));
         let n = UrlNormalizer::from_engine(&e);
         assert!(n.enabled);
-        let u = n.normalize(&url(
-            "http://a.example/p.jsp?callback=aslHandleAds12345678",
-        ));
+        let u = n.normalize(&url("http://a.example/p.jsp?callback=aslHandleAds12345678"));
         assert!(u.query().unwrap().contains("aslHandleAds"), "{u}");
     }
 }

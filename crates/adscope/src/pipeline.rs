@@ -2,7 +2,8 @@
 
 use crate::classify::{AdLabel, PassiveClassifier};
 use crate::content::{infer_category, ContentOptions};
-use crate::extract::{extract, WebObject};
+use crate::degrade::DegradationReport;
+use crate::extract::{extract, extract_with_report, WebObject};
 use crate::normalize::UrlNormalizer;
 use crate::refmap::{RefMap, RefMapOptions};
 use http_model::{ContentCategory, Url};
@@ -77,6 +78,8 @@ pub struct ClassifiedTrace {
     pub https_flows: Vec<TlsConnection>,
     /// Transactions dropped during extraction.
     pub dropped: usize,
+    /// Per-stage accounting of degraded input the pipeline absorbed.
+    pub degradation: DegradationReport,
 }
 
 impl ClassifiedTrace {
@@ -97,7 +100,8 @@ pub fn classify_trace(
     classifier: &PassiveClassifier,
     opts: PipelineOptions,
 ) -> ClassifiedTrace {
-    let (objects, dropped) = extract(trace);
+    let (objects, mut degradation) = extract_with_report(trace);
+    let dropped = degradation.quarantined();
     let normalizer = if opts.normalize {
         UrlNormalizer::from_engine(classifier.engine())
     } else {
@@ -114,7 +118,12 @@ pub fn classify_trace(
     let mut pos_of_idx: HashMap<usize, usize> = HashMap::with_capacity(objects.len());
     let mut backfills: Vec<(usize, ContentCategory)> = Vec::new();
 
+    let mut prev_ts = f64::NEG_INFINITY;
     for (pos, obj) in objects.iter().enumerate() {
+        if obj.ts < prev_ts {
+            degradation.out_of_order_records += 1;
+        }
+        prev_ts = obj.ts;
         pos_of_idx.insert(obj.idx, pos);
         let user_key = (obj.client_ip, obj.user_agent.as_deref());
         let map = per_user
@@ -125,8 +134,14 @@ pub fn classify_trace(
         if let Some(redirecting_idx) = entry.backfill_type_to {
             backfills.push((redirecting_idx, cat));
         }
+        if entry.ctx.page.is_none() {
+            degradation.refmap_misses += 1;
+        }
         pages.push(entry.ctx.page);
         categories.push(cat);
+    }
+    for map in per_user.values() {
+        degradation.broken_redirect_chains += map.redirects_inserted() - map.redirects_consumed();
     }
     // Pass 2: redirect type backfill.
     for (idx, cat) in backfills {
@@ -134,6 +149,13 @@ pub fn classify_trace(
             if cat != ContentCategory::Other {
                 categories[pos] = cat;
             }
+        }
+    }
+    // A missing Content-Type that still ended with a usable category means
+    // the extension/backfill fallback recovered it.
+    for (pos, obj) in objects.iter().enumerate() {
+        if obj.content_type.is_none() && categories[pos] != ContentCategory::Other {
+            degradation.content_type_fallbacks += 1;
         }
     }
     // Pass 3: normalize + classify.
@@ -165,6 +187,7 @@ pub fn classify_trace(
         requests,
         https_flows: trace.https_flows().cloned().collect(),
         dropped,
+        degradation,
     }
 }
 
@@ -255,12 +278,12 @@ mod tests {
         ]);
         let out = classify_trace(&t, &classifier(), PipelineOptions::default());
         assert_eq!(out.requests.len(), 2);
-        assert!(!out.requests[0].label.is_ad(), "the page itself is not an ad");
-        assert!(out.requests[1].label.is_ad());
-        assert_eq!(
-            out.requests[1].page.as_ref().unwrap().host(),
-            "pub.example"
+        assert!(
+            !out.requests[0].label.is_ad(),
+            "the page itself is not an ad"
         );
+        assert!(out.requests[1].label.is_ad());
+        assert_eq!(out.requests[1].page.as_ref().unwrap().host(), "pub.example");
     }
 
     #[test]
@@ -292,10 +315,7 @@ mod tests {
         // The redirector's category is backfilled from the target (media).
         assert_eq!(out.requests[1].category, ContentCategory::Media);
         // The target's page was stitched across the redirect.
-        assert_eq!(
-            out.requests[2].page.as_ref().unwrap().host(),
-            "pub.example"
-        );
+        assert_eq!(out.requests[2].page.as_ref().unwrap().host(), "pub.example");
     }
 
     #[test]
@@ -329,7 +349,15 @@ mod tests {
         let t = trace(vec![
             tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
             // Different client: orphan object must not inherit client 5's page.
-            tx(0.5, 6, "cdn.example", "/app.js", None, Some("application/javascript"), None),
+            tx(
+                0.5,
+                6,
+                "cdn.example",
+                "/app.js",
+                None,
+                Some("application/javascript"),
+                None,
+            ),
         ]);
         let out = classify_trace(&t, &classifier(), PipelineOptions::default());
         assert!(out.requests[1].page.is_none());
@@ -337,7 +365,15 @@ mod tests {
 
     #[test]
     fn https_flows_carried_through() {
-        let mut records = vec![tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None)];
+        let mut records = vec![tx(
+            0.0,
+            5,
+            "pub.example",
+            "/",
+            None,
+            Some("text/html"),
+            None,
+        )];
         records.push(TraceRecord::Https(netsim::record::TlsConnection {
             ts: 1.0,
             client_ip: 5,
@@ -352,11 +388,87 @@ mod tests {
     }
 
     #[test]
+    fn degradation_report_accounts_for_broken_input() {
+        let t = trace(vec![
+            tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
+            // Redirect whose target never shows up: broken chain.
+            tx(
+                0.2,
+                5,
+                "r.example",
+                "/go",
+                Some("http://pub.example/"),
+                None,
+                Some("http://never.example/gone.gif"),
+            ),
+            // Quarantined: URL cannot be reassembled.
+            tx(0.3, 5, "", "/lost", None, None, None),
+            // Out of order, and Content-Type missing but the extension
+            // recovers the category.
+            tx(
+                0.1,
+                5,
+                "img.example",
+                "/a.gif",
+                Some("http://pub.example/"),
+                None,
+                None,
+            ),
+        ]);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        let d = &out.degradation;
+        assert_eq!(out.dropped, 1);
+        assert_eq!(d.unparseable_urls, 1);
+        assert_eq!(d.broken_redirect_chains, 1);
+        assert_eq!(d.out_of_order_records, 1);
+        // Redirector and image both lacked Content-Type; the quarantined
+        // record is excluded before header accounting.
+        assert_eq!(d.missing_content_type, 2);
+        assert_eq!(d.content_type_fallbacks, 1, "only the .gif recovered");
+        assert!(d.total() >= d.quarantined());
+    }
+
+    #[test]
+    fn clean_trace_reports_no_degradation() {
+        let t = trace(vec![
+            tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
+            tx(
+                0.1,
+                5,
+                "x.example",
+                "/banners/a.gif",
+                Some("http://pub.example/"),
+                Some("image/gif"),
+                None,
+            ),
+        ]);
+        let out = classify_trace(&t, &classifier(), PipelineOptions::default());
+        assert_eq!(out.degradation, DegradationReport::default());
+        assert_eq!(out.degradation.total(), 0);
+    }
+
+    #[test]
     fn ad_request_count() {
         let t = trace(vec![
             tx(0.0, 5, "pub.example", "/", None, Some("text/html"), None),
-            tx(0.1, 5, "x.example", "/banners/a.gif", Some("http://pub.example/"), Some("image/gif"), None),
-            tx(0.2, 5, "t.example", "/pixel/p.gif", Some("http://pub.example/"), Some("image/gif"), None),
+            tx(
+                0.1,
+                5,
+                "x.example",
+                "/banners/a.gif",
+                Some("http://pub.example/"),
+                Some("image/gif"),
+                None,
+            ),
+            tx(
+                0.2,
+                5,
+                "t.example",
+                "/pixel/p.gif",
+                Some("http://pub.example/"),
+                Some("image/gif"),
+                None,
+            ),
         ]);
         let out = classify_trace(&t, &classifier(), PipelineOptions::default());
         assert_eq!(out.ad_request_count(), 2);

@@ -64,6 +64,10 @@ pub struct RefMap {
     /// The user's most recent page root (fallback context).
     last_page: Option<(Url, f64)>,
     opts: RefMapOptions,
+    /// Redirect targets registered from `Location` headers.
+    redirects_inserted: usize,
+    /// Redirect targets that were later observed (chain stitched).
+    redirects_consumed: usize,
 }
 
 /// Output entry: page context plus an optional "backfill" instruction
@@ -117,6 +121,7 @@ impl RefMap {
         // 1. Redirect repair: am I the target of a recent redirect?
         let mut page: Option<Url> = if self.opts.redirect_repair {
             if let Some((root, redirecting_idx, _)) = self.pending_redirects.remove(&own_key) {
+                self.redirects_consumed += 1;
                 via_redirect = true;
                 backfill_type_to = Some(redirecting_idx);
                 root
@@ -155,8 +160,7 @@ impl RefMap {
 
         // Update state.
         if let Some(root) = &page {
-            self.page_of
-                .insert(own_key, (root.clone(), obj.ts));
+            self.page_of.insert(own_key, (root.clone(), obj.ts));
             self.last_page = Some((root.clone(), obj.ts));
         } else if Self::looks_like_document(obj) {
             self.last_page = Some((obj.url.clone(), obj.ts));
@@ -164,6 +168,7 @@ impl RefMap {
         // Record pending redirects.
         if self.opts.redirect_repair {
             if let Some(loc) = &obj.location {
+                self.redirects_inserted += 1;
                 self.pending_redirects
                     .insert(Self::key(loc), (page.clone(), obj.idx, obj.ts));
             }
@@ -172,8 +177,7 @@ impl RefMap {
         if self.opts.embedded_urls {
             if let Some(root) = &page {
                 for emb in embedded_urls(&obj.url) {
-                    self.page_of
-                        .insert(Self::key(&emb), (root.clone(), obj.ts));
+                    self.page_of.insert(Self::key(&emb), (root.clone(), obj.ts));
                 }
             }
         }
@@ -181,6 +185,18 @@ impl RefMap {
             ctx: PageContext { page, via_redirect },
             backfill_type_to,
         }
+    }
+
+    /// Redirect targets registered so far (from `Location` headers).
+    pub fn redirects_inserted(&self) -> usize {
+        self.redirects_inserted
+    }
+
+    /// Redirect targets later observed and stitched into a chain. The
+    /// difference `inserted - consumed` is the number of chains that
+    /// stayed broken (target never arrived within the horizon).
+    pub fn redirects_consumed(&self) -> usize {
+        self.redirects_consumed
     }
 
     fn evict(&mut self, now: f64) {
@@ -260,7 +276,10 @@ mod tests {
             None,
         );
         let e1 = m.process(&script);
-        assert_eq!(e1.ctx.page.as_ref().unwrap().as_string(), "http://pub.example/");
+        assert_eq!(
+            e1.ctx.page.as_ref().unwrap().as_string(),
+            "http://pub.example/"
+        );
         // Child of the script keeps the same root.
         let img = obj(
             2,
@@ -271,13 +290,23 @@ mod tests {
             None,
         );
         let e2 = m.process(&img);
-        assert_eq!(e2.ctx.page.as_ref().unwrap().as_string(), "http://pub.example/");
+        assert_eq!(
+            e2.ctx.page.as_ref().unwrap().as_string(),
+            "http://pub.example/"
+        );
     }
 
     #[test]
     fn redirect_repair_stitches_broken_chain() {
         let mut m = RefMap::new(RefMapOptions::default());
-        m.process(&obj(0, 0.0, "http://pub.example/", None, Some("text/html"), None));
+        m.process(&obj(
+            0,
+            0.0,
+            "http://pub.example/",
+            None,
+            Some("text/html"),
+            None,
+        ));
         // Redirector carries the page referer and a Location.
         let r = obj(
             1,
@@ -299,8 +328,15 @@ mod tests {
         );
         let e = m.process(&target);
         assert!(e.ctx.via_redirect);
-        assert_eq!(e.ctx.page.as_ref().unwrap().as_string(), "http://pub.example/");
-        assert_eq!(e.backfill_type_to, Some(1), "type propagates to the redirector");
+        assert_eq!(
+            e.ctx.page.as_ref().unwrap().as_string(),
+            "http://pub.example/"
+        );
+        assert_eq!(
+            e.backfill_type_to,
+            Some(1),
+            "type propagates to the redirector"
+        );
     }
 
     #[test]
@@ -309,7 +345,14 @@ mod tests {
             redirect_repair: false,
             embedded_urls: true,
         });
-        m.process(&obj(0, 0.0, "http://pub.example/", None, Some("text/html"), None));
+        m.process(&obj(
+            0,
+            0.0,
+            "http://pub.example/",
+            None,
+            Some("text/html"),
+            None,
+        ));
         m.process(&obj(
             1,
             0.4,
@@ -328,7 +371,10 @@ mod tests {
         ));
         assert!(!e.ctx.via_redirect);
         // Falls back to the most recent page context.
-        assert_eq!(e.ctx.page.as_ref().unwrap().as_string(), "http://pub.example/");
+        assert_eq!(
+            e.ctx.page.as_ref().unwrap().as_string(),
+            "http://pub.example/"
+        );
         assert_eq!(e.backfill_type_to, None);
     }
 
@@ -350,7 +396,14 @@ mod tests {
     #[test]
     fn orphan_attaches_to_recent_page() {
         let mut m = RefMap::new(RefMapOptions::default());
-        m.process(&obj(0, 0.0, "http://pub.example/", None, Some("text/html"), None));
+        m.process(&obj(
+            0,
+            0.0,
+            "http://pub.example/",
+            None,
+            Some("text/html"),
+            None,
+        ));
         let e = m.process(&obj(
             1,
             3.0,
@@ -378,8 +431,7 @@ mod tests {
         let emb = embedded_urls(&u);
         assert_eq!(emb.len(), 1);
         assert_eq!(emb[0].host(), "t.example");
-        let schemeless =
-            Url::parse("http://r.example/go?url=t2.example/path").unwrap();
+        let schemeless = Url::parse("http://r.example/go?url=t2.example/path").unwrap();
         let emb2 = embedded_urls(&schemeless);
         assert_eq!(emb2[0].host(), "t2.example");
         let none = Url::parse("http://r.example/go?x=1").unwrap();
@@ -389,7 +441,14 @@ mod tests {
     #[test]
     fn embedded_url_requests_join_page() {
         let mut m = RefMap::new(RefMapOptions::default());
-        m.process(&obj(0, 0.0, "http://pub.example/", None, Some("text/html"), None));
+        m.process(&obj(
+            0,
+            0.0,
+            "http://pub.example/",
+            None,
+            Some("text/html"),
+            None,
+        ));
         m.process(&obj(
             1,
             0.2,
@@ -415,7 +474,14 @@ mod tests {
     #[test]
     fn scheme_differences_do_not_break_chains() {
         let mut m = RefMap::new(RefMapOptions::default());
-        m.process(&obj(0, 0.0, "http://pub.example/p", None, Some("text/html"), None));
+        m.process(&obj(
+            0,
+            0.0,
+            "http://pub.example/p",
+            None,
+            Some("text/html"),
+            None,
+        ));
         // Referer written as https (page served https, child http).
         let e = m.process(&obj(
             1,
@@ -425,6 +491,9 @@ mod tests {
             Some("image/gif"),
             None,
         ));
-        assert_eq!(e.ctx.page.as_ref().unwrap().as_string(), "http://pub.example/p");
+        assert_eq!(
+            e.ctx.page.as_ref().unwrap().as_string(),
+            "http://pub.example/p"
+        );
     }
 }

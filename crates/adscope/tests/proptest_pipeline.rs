@@ -2,12 +2,12 @@
 //! conservative, content inference is total, the referrer map never panics
 //! on arbitrary orderings, and per-user aggregation conserves counts.
 
+use abp_filter::FilterList;
 use adscope::classify::PassiveClassifier;
 use adscope::content::{infer_category, ContentOptions};
 use adscope::normalize::UrlNormalizer;
 use adscope::pipeline::{classify_trace, PipelineOptions};
 use adscope::users::aggregate_users;
-use abp_filter::FilterList;
 use http_model::headers::{RequestHeaders, ResponseHeaders};
 use http_model::transaction::Method;
 use http_model::{HttpTransaction, Url};
@@ -178,5 +178,83 @@ proptest! {
         let bytes_in: u64 = trace.http_transactions().map(|t| t.body_bytes()).sum();
         let bytes_out: u64 = classified.requests.iter().map(|r| r.bytes).sum();
         prop_assert_eq!(bytes_in, bytes_out);
+    }
+
+    /// End-to-end robustness: serialize a trace, corrupt it at both the
+    /// in-memory and wire levels, recover with the lossy reader, and run
+    /// the full pipeline. Nothing may panic, and the degradation report
+    /// must reconcile with what survived.
+    #[test]
+    fn pipeline_never_panics_on_corrupted_traces(
+        n in 1usize..50,
+        rate in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        use netsim::codec::{read_trace_lossy, write_trace};
+        use netsim::faults::{FaultInjector, FaultProfile};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records: Vec<TraceRecord> = (0..n)
+            .map(|i| {
+                TraceRecord::Http(HttpTransaction {
+                    ts: i as f64 * 0.5,
+                    client_ip: rng.gen_range(1..4),
+                    server_ip: rng.gen_range(10..15),
+                    server_port: 80,
+                    method: Method::Get,
+                    request: RequestHeaders {
+                        host: format!("h{}.example", rng.gen_range(0..4)),
+                        uri: format!("/ads/o{i}"),
+                        referer: Some("http://h0.example/".into()),
+                        user_agent: Some("UA".into()),
+                    },
+                    response: ResponseHeaders {
+                        status: 200,
+                        content_type: Some("image/gif".into()),
+                        content_length: Some(50),
+                        location: None,
+                    },
+                    tcp_handshake_ms: 1.0,
+                    http_handshake_ms: 2.0,
+                })
+            })
+            .collect();
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "prop-corrupt".into(),
+                duration_secs: n as f64,
+                subscribers: 3,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        };
+        let mut injector = FaultInjector::new(FaultProfile::uniform(rate), seed);
+        let faulted = injector.corrupt_trace(&trace);
+        let mut bytes = Vec::new();
+        write_trace(&faulted, &mut bytes).expect("write");
+        let corrupted = injector.corrupt_bytes(&bytes);
+        let (recovered, stats) =
+            read_trace_lossy(corrupted.as_slice()).expect("lossy read");
+
+        let classifier = PassiveClassifier::new(vec![FilterList::parse("easylist", "/ads/\n")]);
+        let classified = classify_trace(&recovered, &classifier, PipelineOptions::default());
+
+        // Every salvaged HTTP record is either classified or quarantined.
+        prop_assert_eq!(
+            classified.requests.len() + classified.dropped,
+            stats.records_read
+        );
+        prop_assert_eq!(classified.dropped, classified.degradation.quarantined());
+        // Header-field drops surface as counted degradation, never as lost
+        // records. Wire duplication can at most double each UA-less record,
+        // so the count is bounded by drops + duplicates.
+        prop_assert!(
+            classified.degradation.missing_user_agent
+                <= injector.counts().user_agents_dropped
+                    + injector.counts().records_duplicated
+        );
     }
 }

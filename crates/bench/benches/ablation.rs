@@ -69,8 +69,7 @@ fn ablation(c: &mut Criterion) {
     println!("\nablation effects (n={n} requests):");
     for (name, opts) in variants() {
         let out = classify_trace(&trace, &classifier, opts);
-        let coverage = 100.0
-            * out.requests.iter().filter(|r| r.page.is_some()).count() as f64
+        let coverage = 100.0 * out.requests.iter().filter(|r| r.page.is_some()).count() as f64
             / out.requests.len() as f64;
         let page_diverged = out
             .requests

@@ -32,10 +32,12 @@ fn filter_match(c: &mut Criterion) {
     });
 
     // Brute force: evaluate every blocking rule for every URL.
-    let all_lists = [eco.lists.easylist(),
+    let all_lists = [
+        eco.lists.easylist(),
         eco.lists.regional(),
         eco.lists.easyprivacy(),
-        eco.lists.acceptable()];
+        eco.lists.acceptable(),
+    ];
     let blocking: Vec<abp_filter::NetFilter> = all_lists
         .iter()
         .flat_map(|l| l.blocking.iter().cloned())

@@ -2,7 +2,7 @@
 
 use bench::{bench_ecosystem, bench_trace};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use netsim::codec::{read_trace, write_trace};
+use netsim::codec::{read_trace, read_trace_lossy, write_trace};
 use std::hint::black_box;
 
 fn trace_io(c: &mut Criterion) {
@@ -26,6 +26,12 @@ fn trace_io(c: &mut Criterion) {
 
     group.bench_function("read", |b| {
         b.iter(|| black_box(read_trace(black_box(buf.as_slice())).expect("read")))
+    });
+
+    // The lossy reader on a clean trace: its resync machinery should cost
+    // well under 10% over the strict path (the robustness tax).
+    group.bench_function("read_lossy_clean", |b| {
+        b.iter(|| black_box(read_trace_lossy(black_box(buf.as_slice())).expect("read")))
     });
     group.finish();
 }

@@ -7,11 +7,9 @@
 //! actives outnumber Adblock Plus actives two to one, while off-hours the
 //! counts are roughly equal (§7.1). The [`ActivityProfile`] encodes both.
 
-use serde::{Deserialize, Serialize};
-
 /// Relative browsing intensity per hour of day, weekday vs weekend, with an
 /// ad-blocker population skew.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivityProfile {
     /// Hourly weights for weekdays (24 entries, arbitrary scale).
     pub weekday: [f64; 24],
@@ -50,7 +48,13 @@ impl ActivityProfile {
     ///
     /// `start_hour`/`start_weekday` anchor t=0 on the wall clock
     /// (weekday 0 = Monday).
-    pub fn weight(&self, t_secs: f64, start_hour: u32, start_weekday: u32, adblock_user: bool) -> f64 {
+    pub fn weight(
+        &self,
+        t_secs: f64,
+        start_hour: u32,
+        start_weekday: u32,
+        adblock_user: bool,
+    ) -> f64 {
         let abs_hours = t_secs / 3600.0 + start_hour as f64;
         let hour = (abs_hours as u64 % 24) as usize;
         let day = ((start_weekday as u64) + (abs_hours as u64) / 24) % 7;

@@ -68,13 +68,21 @@ impl AdblockPlusPlugin {
     /// Build an instance from parsed lists. `phase_secs` staggers the
     /// initial subscription ages across the population so updates don't all
     /// fire at the same instant.
-    pub fn new(config: AbpConfig, engine: Arc<Engine>, lists: &[&FilterList], phase_secs: f64) -> Self {
+    pub fn new(
+        config: AbpConfig,
+        engine: Arc<Engine>,
+        lists: &[&FilterList],
+        phase_secs: f64,
+    ) -> Self {
         let mut subscriptions: Vec<(String, SubscriptionState)> = lists
             .iter()
             .map(|l| {
                 (
                     l.name.clone(),
-                    SubscriptionState::aged(l.soft_expiry_days, phase_secs % (l.soft_expiry_days * 86_400.0)),
+                    SubscriptionState::aged(
+                        l.soft_expiry_days,
+                        phase_secs % (l.soft_expiry_days * 86_400.0),
+                    ),
                 )
             })
             .collect();
@@ -207,9 +215,7 @@ mod tests {
         let blocked_net = eco
             .companies
             .iter()
-            .find(|c| {
-                c.kind == webgen::adtech::AdTechKind::AdNetwork && !c.acceptable
-            })
+            .find(|c| c.kind == webgen::adtech::AdTechKind::AdNetwork && !c.acceptable)
             .expect("a non-acceptable ad network");
         let p = plugin(AbpConfig::default_install());
         let page = Url::parse("http://www.dailyherald001.example/").unwrap();

@@ -59,7 +59,11 @@ impl Browser {
         let mut last_ad_url: std::collections::HashMap<String, String> =
             std::collections::HashMap::new();
         let page_https = page_uses_https(publisher);
-        let scheme = if page_https { Scheme::Https } else { Scheme::Http };
+        let scheme = if page_https {
+            Scheme::Https
+        } else {
+            Scheme::Http
+        };
         let page_url = Url::from_parts(scheme, &publisher.www_host, &template.path, None);
 
         // --- Main document ---
@@ -107,7 +111,10 @@ impl Browser {
                     Some(&format!("dest={}", url.without_scheme())),
                 );
                 // The redirector is itself a request the plugin can block.
-                if self.plugin.blocks(&redir_url, &page_url, ContentCategory::Other) {
+                if self
+                    .plugin
+                    .blocks(&redir_url, &page_url, ContentCategory::Other)
+                {
                     stats.blocked += 1;
                     stats.issued -= 1;
                     if obj.kind.is_ad_related() {
@@ -134,17 +141,7 @@ impl Browser {
                 // The post-redirect request has no referer — the broken
                 // chain the paper repairs via the Location header.
                 let (ct, bytes) = response_headers(obj, rng);
-                events.push(self.event(
-                    eco,
-                    t,
-                    &url,
-                    None,
-                    obj.category,
-                    bytes,
-                    ct,
-                    None,
-                    rng,
-                ));
+                events.push(self.event(eco, t, &url, None, obj.category, bytes, ct, None, rng));
                 continue;
             }
             let (ct, bytes) = response_headers(obj, rng);
@@ -289,7 +286,11 @@ fn response_headers<R: Rng + ?Sized>(obj: &PageObject, rng: &mut R) -> (Option<S
     }
     if rng.gen_bool(obj.mislabel_prob) {
         // The §4.2 hazard: scripts served as text/html (or odd x- types).
-        let wrong = if rng.gen_bool(0.7) { "text/html" } else { "text/x-c" };
+        let wrong = if rng.gen_bool(0.7) {
+            "text/html"
+        } else {
+            "text/x-c"
+        };
         return (Some(wrong.to_string()), bytes);
     }
     let ct = match (obj.category, obj.size) {
@@ -335,8 +336,8 @@ pub fn vanilla(client_addr: u32, user_agent: UserAgent) -> Browser {
 mod tests {
     use super::*;
     use crate::adblockplus::{build_engine, AbpConfig, AdblockPlusPlugin};
-    use http_model::{BrowserFamily, UserAgent};
     use http_model::useragent::Os;
+    use http_model::{BrowserFamily, UserAgent};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -422,8 +423,9 @@ mod tests {
             vstats.issued_ad_related
         );
         // Main document always issued.
-        assert!(aevents.iter().any(|e| e.uri.starts_with('/')
-            && e.content_type.as_deref() == Some("text/html")));
+        assert!(aevents
+            .iter()
+            .any(|e| e.uri.starts_with('/') && e.content_type.as_deref() == Some("text/html")));
     }
 
     #[test]
@@ -479,8 +481,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (e1, _) = b.visit_page(&eco, p, &p.pages[0], 0.0, None, &mut rng);
         let (e2, _) = b.visit_page(&eco, p, &p.pages[0], 10.0, None, &mut rng);
-        let q1: Vec<&String> = e1.iter().filter(|e| e.uri.contains("cb=")).map(|e| &e.uri).collect();
-        let q2: Vec<&String> = e2.iter().filter(|e| e.uri.contains("cb=")).map(|e| &e.uri).collect();
+        let q1: Vec<&String> = e1
+            .iter()
+            .filter(|e| e.uri.contains("cb="))
+            .map(|e| &e.uri)
+            .collect();
+        let q2: Vec<&String> = e2
+            .iter()
+            .filter(|e| e.uri.contains("cb="))
+            .map(|e| &e.uri)
+            .collect();
         assert!(!q1.is_empty());
         assert_ne!(q1, q2, "cache busters must differ");
     }
@@ -512,7 +522,10 @@ mod tests {
         let (events, _) = b.visit_page(&eco, p, &p.pages[0], 0.0, None, &mut rng);
         assert!(events[0].https, "main doc over https");
         // Third-party ads remain on http.
-        if let Some(ad) = events.iter().find(|e| e.host.contains("adnet") || e.host.contains("gigglesearch.example")) {
+        if let Some(ad) = events
+            .iter()
+            .find(|e| e.host.contains("adnet") || e.host.contains("gigglesearch.example"))
+        {
             let _ = ad; // presence depends on template; scheme checked in object_url tests
         }
     }
@@ -525,11 +538,7 @@ mod tests {
             .iter()
             .find(|p| p.pages.iter().any(|pg| pg.embedded_text_ads > 0) && !page_uses_https(p))
             .expect("publisher with text ads");
-        let pg = p
-            .pages
-            .iter()
-            .find(|pg| pg.embedded_text_ads > 0)
-            .unwrap();
+        let pg = p.pages.iter().find(|pg| pg.embedded_text_ads > 0).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let b = vanilla(7, ua());
         let (_, vstats) = b.visit_page(&eco, p, pg, 0.0, None, &mut rng);

@@ -70,17 +70,22 @@ impl Device {
                     &format!("/adserve/app{k}"),
                     Some(&format!("sdk=3&ord={}", rng.gen_range(0..1_000_000u32))),
                 );
-                self.event(eco, t, &url, SizeClass::TextChunk.sample_bytes(rng), Some("text/plain"), rng)
+                self.event(
+                    eco,
+                    t,
+                    &url,
+                    SizeClass::TextChunk.sample_bytes(rng),
+                    Some("text/plain"),
+                    rng,
+                )
             } else {
                 // API/media traffic against a publisher host.
                 let pub_idx = eco.top_sites.sample(rng);
                 let p = &eco.publishers[pub_idx];
                 let (path, ct, size) = match self.class {
-                    DeviceClass::SmartTv | DeviceClass::MediaPlayer => (
-                        format!("/chunks/dev{k}.ts"),
-                        None,
-                        SizeClass::VideoChunk,
-                    ),
+                    DeviceClass::SmartTv | DeviceClass::MediaPlayer => {
+                        (format!("/chunks/dev{k}.ts"), None, SizeClass::VideoChunk)
+                    }
                     DeviceClass::SoftwareUpdater => (
                         format!("/api/update{k}"),
                         Some("application/octet-stream"),

@@ -157,7 +157,8 @@ pub fn drive(
         }
         // --- Devices ---
         for device in &population.devices {
-            let expected = device.requests_per_hour / 3.0 * (config.slice_secs / 3600.0)
+            let expected = device.requests_per_hour / 3.0
+                * (config.slice_secs / 3600.0)
                 * profile.weight(t0, config.start_hour, config.start_weekday, false);
             let bursts = sample_poisson(expected, &mut rng);
             for _ in 0..bursts {
@@ -287,7 +288,11 @@ mod tests {
             },
         );
         assert!(out.trace.is_time_ordered());
-        assert!(out.trace.http_count() > 500, "got {}", out.trace.http_count());
+        assert!(
+            out.trace.http_count() > 500,
+            "got {}",
+            out.trace.http_count()
+        );
         let issued: u64 = out.ground_truth.iter().map(|g| g.issued).sum();
         let ads: u64 = out.ground_truth.iter().map(|g| g.issued_ad_related).sum();
         assert!(issued > 0 && ads > 0);
@@ -360,7 +365,10 @@ mod tests {
             .https_flows()
             .filter(|f| eco.abp_ips.contains(&f.server_ip))
             .count() as u64;
-        assert_eq!(downloads, https_to_abp, "every download visible as HTTPS flow");
+        assert_eq!(
+            downloads, https_to_abp,
+            "every download visible as HTTPS flow"
+        );
         // With randomized phases, a 6 h window should catch some updates.
         assert!(downloads > 0, "no list downloads simulated");
     }

@@ -1,12 +1,11 @@
 //! The in-browser ad-blocker plugin interface.
 
 use http_model::{ContentCategory, Url};
-use serde::{Deserialize, Serialize};
 
 /// A filter-list download the plugin wants to perform (over HTTPS, to the
 /// Adblock Plus servers) — the traffic behind the paper's second inference
 /// indicator (§3.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ListDownload {
     /// List identifier (e.g. `easylist`).
     pub list: String,

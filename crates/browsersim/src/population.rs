@@ -184,8 +184,7 @@ impl Population {
                         lists.push(&aa);
                     }
                     let phase = rng.gen_range(0.0..4.0 * 86_400.0);
-                    let plugin =
-                        AdblockPlusPlugin::new(cfg, engines.get(cfg), &lists, phase);
+                    let plugin = AdblockPlusPlugin::new(cfg, engines.get(cfg), &lists, phase);
                     (Box::new(plugin), "adblock-plus".to_string(), Some(cfg))
                 } else if family.is_desktop_browser() && rng.gen_bool(config.ghostery_rate) {
                     let mode = match rng.gen_range(0..3) {
@@ -250,7 +249,11 @@ impl Population {
 fn sample_browser_identity(rng: &mut StdRng, slot: usize) -> (BrowserFamily, UserAgent) {
     let roll: f64 = rng.gen_range(0.0..1.0);
     if roll < 0.20 {
-        let os = if rng.gen_bool(0.55) { Os::Ios } else { Os::Android };
+        let os = if rng.gen_bool(0.55) {
+            Os::Ios
+        } else {
+            Os::Android
+        };
         return (
             BrowserFamily::Mobile,
             UserAgent::mobile(os, 30 + slot as u32 + rng.gen_range(0..8) as u32),
@@ -370,7 +373,10 @@ mod tests {
             .filter(|t| !t.abp_config.unwrap().acceptable)
             .count() as f64
             / abp.len() as f64;
-        assert!((0.08..0.20).contains(&with_ep), "easyprivacy share {with_ep}");
+        assert!(
+            (0.08..0.20).contains(&with_ep),
+            "easyprivacy share {with_ep}"
+        );
         assert!((0.13..0.28).contains(&optout), "optout share {optout}");
     }
 

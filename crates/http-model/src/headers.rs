@@ -5,10 +5,8 @@
 //! (response), `Content-Length` (response) and `Location` (response, the
 //! paper's extension for redirect repair). This module models just those.
 
-use serde::{Deserialize, Serialize};
-
 /// Request-side header fields visible in a header-only trace.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RequestHeaders {
     /// `Host` header value.
     pub host: String,
@@ -21,7 +19,7 @@ pub struct RequestHeaders {
 }
 
 /// Response-side header fields visible in a header-only trace.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ResponseHeaders {
     /// HTTP status code.
     pub status: u16,

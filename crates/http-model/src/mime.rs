@@ -1,6 +1,5 @@
 //! MIME types and Adblock Plus content categories.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The general content categories the Adblock Plus matcher distinguishes.
@@ -9,7 +8,7 @@ use std::fmt;
 /// `stylesheet`, `image`, `media` or `object`; we add `Subdocument`, `Xhr`,
 /// `Font` and `Other` which appear in real filter options and in the
 /// synthetic ad-scape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ContentCategory {
     /// Top-level HTML document.
     Document,
@@ -154,12 +153,30 @@ mod tests {
 
     #[test]
     fn mime_general_categories() {
-        assert_eq!(ContentCategory::from_mime("image/gif"), ContentCategory::Image);
-        assert_eq!(ContentCategory::from_mime("image/png"), ContentCategory::Image);
-        assert_eq!(ContentCategory::from_mime("video/mp4"), ContentCategory::Media);
-        assert_eq!(ContentCategory::from_mime("video/x-flv"), ContentCategory::Media);
-        assert_eq!(ContentCategory::from_mime("text/html"), ContentCategory::Document);
-        assert_eq!(ContentCategory::from_mime("text/css"), ContentCategory::Stylesheet);
+        assert_eq!(
+            ContentCategory::from_mime("image/gif"),
+            ContentCategory::Image
+        );
+        assert_eq!(
+            ContentCategory::from_mime("image/png"),
+            ContentCategory::Image
+        );
+        assert_eq!(
+            ContentCategory::from_mime("video/mp4"),
+            ContentCategory::Media
+        );
+        assert_eq!(
+            ContentCategory::from_mime("video/x-flv"),
+            ContentCategory::Media
+        );
+        assert_eq!(
+            ContentCategory::from_mime("text/html"),
+            ContentCategory::Document
+        );
+        assert_eq!(
+            ContentCategory::from_mime("text/css"),
+            ContentCategory::Stylesheet
+        );
         assert_eq!(
             ContentCategory::from_mime("application/javascript"),
             ContentCategory::Script
@@ -168,7 +185,10 @@ mod tests {
             ContentCategory::from_mime("application/x-shockwave-flash"),
             ContentCategory::Object
         );
-        assert_eq!(ContentCategory::from_mime("text/plain"), ContentCategory::Xhr);
+        assert_eq!(
+            ContentCategory::from_mime("text/plain"),
+            ContentCategory::Xhr
+        );
     }
 
     #[test]
@@ -186,9 +206,15 @@ mod tests {
     #[test]
     fn mime_unknowns() {
         assert_eq!(ContentCategory::from_mime(""), ContentCategory::Other);
-        assert_eq!(ContentCategory::from_mime("garbage"), ContentCategory::Other);
+        assert_eq!(
+            ContentCategory::from_mime("garbage"),
+            ContentCategory::Other
+        );
         // The paper's §4.2 example: text/x-c reported for a JS object.
-        assert_eq!(ContentCategory::from_mime("text/x-c"), ContentCategory::Other);
+        assert_eq!(
+            ContentCategory::from_mime("text/x-c"),
+            ContentCategory::Other
+        );
     }
 
     #[test]

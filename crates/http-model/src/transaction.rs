@@ -2,11 +2,10 @@
 
 use crate::headers::{RequestHeaders, ResponseHeaders};
 use crate::url::Url;
-use serde::{Deserialize, Serialize};
 
 /// HTTP request method. The traces are overwhelmingly GET; POST appears for
 /// beacons and RTB callbacks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// GET
     Get,
@@ -34,7 +33,7 @@ impl Method {
 /// exist in this system, mirroring the capture-time anonymization of §5 —
 /// plus the `User-Agent` string that the paper uses to split devices behind
 /// NAT (Maier et al.).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HttpTransaction {
     /// Seconds since trace start at which the request was seen.
     pub ts: f64,

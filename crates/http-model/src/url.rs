@@ -5,11 +5,10 @@
 //! userinfo, no fragment retention (fragments never reach the wire and never
 //! appear in header traces).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// URL scheme; only HTTP(S) matters for the trace methodology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// `http://`
     Http,
@@ -72,7 +71,7 @@ impl std::error::Error for UrlError {}
 /// assert_eq!(u.path(), "/banner.gif");
 /// assert_eq!(u.query(), Some("id=123"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Url {
     scheme: Scheme,
     host: String,
@@ -100,9 +99,7 @@ impl Url {
             return Err(UrlError::MissingScheme);
         };
         // Split host[:port] from path?query#fragment.
-        let end_of_authority = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let end_of_authority = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let authority = &rest[..end_of_authority];
         let tail = &rest[end_of_authority..];
         // Drop userinfo if present (never appears in our traces).
@@ -123,10 +120,21 @@ impl Url {
         let (path, query) = match tail.split_once('?') {
             Some((p, q)) => {
                 let p = if p.is_empty() { "/" } else { p };
-                (p.to_string(), if q.is_empty() { None } else { Some(q.to_string()) })
+                (
+                    p.to_string(),
+                    if q.is_empty() {
+                        None
+                    } else {
+                        Some(q.to_string())
+                    },
+                )
             }
             None => (
-                if tail.is_empty() { "/".to_string() } else { tail.to_string() },
+                if tail.is_empty() {
+                    "/".to_string()
+                } else {
+                    tail.to_string()
+                },
                 None,
             ),
         };

@@ -7,11 +7,10 @@
 //! analysis side *classifies* arbitrary strings back — without sharing any
 //! lookup table, so classification genuinely has to parse the strings.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Browser families distinguished by the paper's annotation (§6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BrowserFamily {
     /// Mozilla Firefox (desktop).
     Firefox,
@@ -64,7 +63,7 @@ impl fmt::Display for BrowserFamily {
 }
 
 /// Device classes observed behind residential NAT gateways (§6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// Desktop/laptop web browser.
     DesktopBrowser,
@@ -88,12 +87,15 @@ impl DeviceClass {
     /// True when ads are expected to appear for this device class (browsers
     /// only — the paper excludes in-app ads from its analysis).
     pub fn is_browser(self) -> bool {
-        matches!(self, DeviceClass::DesktopBrowser | DeviceClass::MobileBrowser)
+        matches!(
+            self,
+            DeviceClass::DesktopBrowser | DeviceClass::MobileBrowser
+        )
     }
 }
 
 /// Operating systems used when synthesizing UA strings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Os {
     /// Windows NT 6.1/10.0.
     Windows,
@@ -108,7 +110,7 @@ pub enum Os {
 }
 
 /// A synthesized or classified User-Agent.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct UserAgent {
     /// The literal header value.
     pub raw: String,
@@ -131,9 +133,9 @@ impl UserAgent {
                 "Mozilla/5.0 ({os_token}) AppleWebKit/537.36 (KHTML, like Gecko) \
                  Chrome/{version}.0.0.0 Safari/537.36"
             ),
-            BrowserFamily::InternetExplorer => format!(
-                "Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:{version}.0) like Gecko"
-            ),
+            BrowserFamily::InternetExplorer => {
+                format!("Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:{version}.0) like Gecko")
+            }
             BrowserFamily::Safari => format!(
                 "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 \
                  (KHTML, like Gecko) Version/{version}.0 Safari/605.1.15"

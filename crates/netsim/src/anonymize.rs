@@ -7,11 +7,10 @@
 //! deterministic within a capture (so one client keeps one label — required
 //! for per-user analysis) but unrelated to the input numbering.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Stable anonymizing map from simulated addresses to opaque labels.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Anonymizer {
     key: u64,
     map: HashMap<u32, u32>,
@@ -39,8 +38,8 @@ impl Anonymizer {
         let seq = self.next;
         self.next += 1;
         let label = mix(seq as u64 ^ self.key) as u32 | 1; // never zero
-        // Guard against the (astronomically unlikely) collision by linear
-        // probing on the mixed value.
+                                                           // Guard against the (astronomically unlikely) collision by linear
+                                                           // probing on the mixed value.
         let mut candidate = label;
         while self.map.values().any(|&v| v == candidate) {
             candidate = candidate.wrapping_add(0x9e37);

@@ -171,8 +171,9 @@ impl Capture {
     /// Finish and also return the raw→anonymized address mapping, for
     /// simulations that must join captured traffic back to ground truth.
     pub fn finish_with_mapping(mut self) -> (Trace, HashMap<u32, u32>) {
-        self.records
-            .sort_by(|a, b| a.ts().partial_cmp(&b.ts()).expect("finite timestamps"));
+        // total_cmp keeps the sort well-defined even if a record carries a
+        // non-finite timestamp (possible when replaying corrupted traces).
+        self.records.sort_by(|a, b| a.ts().total_cmp(&b.ts()));
         let mapping = self.anonymizer.mapping().clone();
         (
             Trace {

@@ -5,22 +5,33 @@
 //! [`TraceRecord`]. NDJSON keeps the reader streaming-friendly — traces can
 //! be bigger than memory on the writing side — while staying debuggable
 //! with standard tools.
+//!
+//! Two readers are provided:
+//!
+//! * [`read_trace`] — strict: the first malformed line aborts the read.
+//!   Appropriate for traces this system wrote itself, where corruption
+//!   means a bug.
+//! * [`TraceReader`] / [`read_trace_lossy`] — lossy: NDJSON's per-line
+//!   framing means a corrupt record only poisons its own line, so the
+//!   reader resyncs at the next newline, counts what it skipped (and why)
+//!   in [`CodecStats`], and keeps going. This models the reality of the
+//!   paper's ISP vantage point, where capture loss and truncation are
+//!   routine and a monitoring pipeline must degrade rather than crash.
 
+use crate::json::{self, Value};
 use crate::record::{Trace, TraceMeta, TraceRecord};
-use serde::{Deserialize, Serialize};
+use http_model::headers::{RequestHeaders, ResponseHeaders};
+use http_model::transaction::{HttpTransaction, Method};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 /// Current format version.
 pub const FORMAT_VERSION: u32 = 1;
 /// Format magic string.
 pub const FORMAT_NAME: &str = "annoyed-users-trace";
-
-#[derive(Debug, Serialize, Deserialize)]
-struct Header {
-    format: String,
-    version: u32,
-    meta: TraceMeta,
-}
+/// Longest record line the lossy reader will buffer. Real records are a
+/// few hundred bytes; anything bigger is corruption (e.g. a lost newline
+/// gluing many records together) and is skipped without unbounded memory.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Errors from reading a trace stream.
 #[derive(Debug)]
@@ -61,28 +72,241 @@ impl From<io::Error> for CodecError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn encode_meta(out: &mut String, m: &TraceMeta) {
+    out.push_str("{\"name\":");
+    json::write_str(out, &m.name);
+    out.push_str(",\"duration_secs\":");
+    json::write_f64(out, m.duration_secs);
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        ",\"subscribers\":{},\"start_hour\":{},\"start_weekday\":{}}}",
+        m.subscribers, m.start_hour, m.start_weekday
+    );
+}
+
+fn encode_record(out: &mut String, r: &TraceRecord) {
+    use std::fmt::Write as _;
+    match r {
+        TraceRecord::Http(t) => {
+            out.push_str("{\"Http\":{\"ts\":");
+            json::write_f64(out, t.ts);
+            let _ = write!(
+                out,
+                ",\"client_ip\":{},\"server_ip\":{},\"server_port\":{},\"method\":\"{:?}\",\"request\":{{\"host\":",
+                t.client_ip, t.server_ip, t.server_port, t.method
+            );
+            json::write_str(out, &t.request.host);
+            out.push_str(",\"uri\":");
+            json::write_str(out, &t.request.uri);
+            out.push_str(",\"referer\":");
+            json::write_opt_str(out, t.request.referer.as_deref());
+            out.push_str(",\"user_agent\":");
+            json::write_opt_str(out, t.request.user_agent.as_deref());
+            let _ = write!(out, "}},\"response\":{{\"status\":{}", t.response.status);
+            out.push_str(",\"content_type\":");
+            json::write_opt_str(out, t.response.content_type.as_deref());
+            out.push_str(",\"content_length\":");
+            match t.response.content_length {
+                Some(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"location\":");
+            json::write_opt_str(out, t.response.location.as_deref());
+            out.push_str("},\"tcp_handshake_ms\":");
+            json::write_f64(out, t.tcp_handshake_ms);
+            out.push_str(",\"http_handshake_ms\":");
+            json::write_f64(out, t.http_handshake_ms);
+            out.push_str("}}");
+        }
+        TraceRecord::Https(t) => {
+            out.push_str("{\"Https\":{\"ts\":");
+            json::write_f64(out, t.ts);
+            let _ = write!(
+                out,
+                ",\"client_ip\":{},\"server_ip\":{},\"server_port\":{},\"bytes\":{}}}}}",
+                t.client_ip, t.server_ip, t.server_port, t.bytes
+            );
+        }
+    }
+}
+
 /// Write a trace to any sink.
 pub fn write_trace<W: Write>(trace: &Trace, sink: W) -> Result<(), CodecError> {
     let mut w = BufWriter::new(sink);
-    let header = Header {
-        format: FORMAT_NAME.to_string(),
-        version: FORMAT_VERSION,
-        meta: trace.meta.clone(),
-    };
-    serde_json::to_writer(&mut w, &header).map_err(|e| CodecError::BadHeader(e.to_string()))?;
-    w.write_all(b"\n")?;
+    let mut line = String::with_capacity(512);
+    line.push_str("{\"format\":");
+    json::write_str(&mut line, FORMAT_NAME);
+    use std::fmt::Write as _;
+    let _ = write!(line, ",\"version\":{FORMAT_VERSION},\"meta\":");
+    encode_meta(&mut line, &trace.meta);
+    line.push_str("}\n");
+    w.write_all(line.as_bytes())?;
     for r in &trace.records {
-        serde_json::to_writer(&mut w, r).map_err(|e| CodecError::BadRecord {
-            line: 0,
-            error: e.to_string(),
-        })?;
-        w.write_all(b"\n")?;
+        line.clear();
+        encode_record(&mut line, r);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
     }
     w.flush()?;
     Ok(())
 }
 
-/// Read a trace from any source.
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn field_str(v: &Value, key: &str) -> Result<String, String> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` must be a string"))
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` must be a number"))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` must be an unsigned integer"))
+}
+
+fn field_u32(v: &Value, key: &str) -> Result<u32, String> {
+    field(v, key)?
+        .as_u32()
+        .ok_or_else(|| format!("field `{key}` must be a u32"))
+}
+
+fn field_u16(v: &Value, key: &str) -> Result<u16, String> {
+    field(v, key)?
+        .as_u16()
+        .ok_or_else(|| format!("field `{key}` must be a u16"))
+}
+
+/// Optional string: absent or `null` → `None`; any non-string value errors.
+fn field_opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("field `{key}` must be a string or null")),
+    }
+}
+
+fn field_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(other) => other
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be an unsigned integer or null")),
+    }
+}
+
+fn decode_meta(v: &Value) -> Result<TraceMeta, String> {
+    Ok(TraceMeta {
+        name: field_str(v, "name")?,
+        duration_secs: field_f64(v, "duration_secs")?,
+        subscribers: field_u64(v, "subscribers")? as usize,
+        start_hour: field_u32(v, "start_hour")?,
+        start_weekday: field_u32(v, "start_weekday")?,
+    })
+}
+
+fn decode_method(v: &Value, key: &str) -> Result<Method, String> {
+    match field(v, key)?.as_str() {
+        Some("Get") => Ok(Method::Get),
+        Some("Post") => Ok(Method::Post),
+        Some("Head") => Ok(Method::Head),
+        other => Err(format!("field `{key}` has unknown method {other:?}")),
+    }
+}
+
+fn decode_http(v: &Value) -> Result<HttpTransaction, String> {
+    let request = field(v, "request")?;
+    let response = field(v, "response")?;
+    Ok(HttpTransaction {
+        ts: field_f64(v, "ts")?,
+        client_ip: field_u32(v, "client_ip")?,
+        server_ip: field_u32(v, "server_ip")?,
+        server_port: field_u16(v, "server_port")?,
+        method: decode_method(v, "method")?,
+        request: RequestHeaders {
+            host: field_str(request, "host")?,
+            uri: field_str(request, "uri")?,
+            referer: field_opt_str(request, "referer")?,
+            user_agent: field_opt_str(request, "user_agent")?,
+        },
+        response: ResponseHeaders {
+            status: field_u16(response, "status")?,
+            content_type: field_opt_str(response, "content_type")?,
+            content_length: field_opt_u64(response, "content_length")?,
+            location: field_opt_str(response, "location")?,
+        },
+        tcp_handshake_ms: field_f64(v, "tcp_handshake_ms")?,
+        http_handshake_ms: field_f64(v, "http_handshake_ms")?,
+    })
+}
+
+fn decode_tls(v: &Value) -> Result<crate::record::TlsConnection, String> {
+    Ok(crate::record::TlsConnection {
+        ts: field_f64(v, "ts")?,
+        client_ip: field_u32(v, "client_ip")?,
+        server_ip: field_u32(v, "server_ip")?,
+        server_port: field_u16(v, "server_port")?,
+        bytes: field_u64(v, "bytes")?,
+    })
+}
+
+fn decode_record(v: &Value) -> Result<TraceRecord, String> {
+    match v {
+        Value::Object(fields) if fields.len() == 1 => match fields[0].0.as_str() {
+            "Http" => Ok(TraceRecord::Http(decode_http(&fields[0].1)?)),
+            "Https" => Ok(TraceRecord::Https(decode_tls(&fields[0].1)?)),
+            other => Err(format!("unknown record variant {other:?}")),
+        },
+        _ => Err("record must be an object with exactly one variant key".to_string()),
+    }
+}
+
+fn decode_header(line: &str) -> Result<TraceMeta, CodecError> {
+    let v = json::parse(line.trim()).map_err(CodecError::BadHeader)?;
+    let format = v
+        .get("format")
+        .and_then(Value::as_str)
+        .ok_or_else(|| CodecError::BadHeader("missing field `format`".to_string()))?;
+    if format != FORMAT_NAME {
+        return Err(CodecError::BadHeader(format!(
+            "unexpected format {format:?}"
+        )));
+    }
+    let version = v
+        .get("version")
+        .and_then(Value::as_u32)
+        .ok_or_else(|| CodecError::BadHeader("missing field `version`".to_string()))?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::Version(version));
+    }
+    let meta = v
+        .get("meta")
+        .ok_or_else(|| CodecError::BadHeader("missing field `meta`".to_string()))?;
+    decode_meta(meta).map_err(CodecError::BadHeader)
+}
+
+/// Read a trace from any source, aborting on the first malformed line.
 pub fn read_trace<R: Read>(source: R) -> Result<Trace, CodecError> {
     let mut reader = BufReader::new(source);
     let mut first = String::new();
@@ -90,34 +314,261 @@ pub fn read_trace<R: Read>(source: R) -> Result<Trace, CodecError> {
     if first.trim().is_empty() {
         return Err(CodecError::BadHeader("empty stream".to_string()));
     }
-    let header: Header =
-        serde_json::from_str(first.trim()).map_err(|e| CodecError::BadHeader(e.to_string()))?;
-    if header.format != FORMAT_NAME {
-        return Err(CodecError::BadHeader(format!(
-            "unexpected format {:?}",
-            header.format
-        )));
-    }
-    if header.version != FORMAT_VERSION {
-        return Err(CodecError::Version(header.version));
-    }
+    let meta = decode_header(&first)?;
     let mut records = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let rec: TraceRecord =
-            serde_json::from_str(&line).map_err(|e| CodecError::BadRecord {
-                line: i + 2,
-                error: e.to_string(),
-            })?;
+        let value = json::parse(line.trim()).map_err(|e| CodecError::BadRecord {
+            line: i + 2,
+            error: e,
+        })?;
+        let rec = decode_record(&value).map_err(|e| CodecError::BadRecord {
+            line: i + 2,
+            error: e,
+        })?;
         records.push(rec);
     }
-    Ok(Trace {
-        meta: header.meta,
-        records,
-    })
+    Ok(Trace { meta, records })
+}
+
+// ---------------------------------------------------------------------------
+// Lossy reading
+// ---------------------------------------------------------------------------
+
+/// Per-reason accounting of what a lossy read kept and dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Records successfully decoded.
+    pub records_read: usize,
+    /// Blank lines (not counted as skips; the strict reader tolerates
+    /// them too).
+    pub blank_lines: usize,
+    /// Lines that were not valid JSON.
+    pub skipped_bad_json: usize,
+    /// Lines that parsed as JSON but did not decode as a trace record.
+    pub skipped_bad_schema: usize,
+    /// Lines containing invalid UTF-8.
+    pub skipped_non_utf8: usize,
+    /// Lines longer than [`MAX_LINE_BYTES`].
+    pub skipped_oversize: usize,
+    /// I/O errors encountered mid-stream (reading stops at the first).
+    pub io_errors: usize,
+    /// True when the header line was missing or corrupt and default
+    /// metadata was substituted.
+    pub header_recovered: bool,
+}
+
+impl CodecStats {
+    /// Total record lines dropped, across all skip reasons.
+    pub fn total_skipped(&self) -> usize {
+        self.skipped_bad_json
+            + self.skipped_bad_schema
+            + self.skipped_non_utf8
+            + self.skipped_oversize
+    }
+
+    /// Total non-blank record lines seen (kept + skipped).
+    pub fn lines_seen(&self) -> usize {
+        self.records_read + self.total_skipped()
+    }
+}
+
+impl std::fmt::Display for CodecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "read {} / skipped {} (json {}, schema {}, utf8 {}, oversize {})",
+            self.records_read,
+            self.total_skipped(),
+            self.skipped_bad_json,
+            self.skipped_bad_schema,
+            self.skipped_non_utf8,
+            self.skipped_oversize
+        )?;
+        if self.header_recovered {
+            write!(f, ", header recovered")?;
+        }
+        if self.io_errors > 0 {
+            write!(f, ", {} I/O errors", self.io_errors)?;
+        }
+        Ok(())
+    }
+}
+
+/// Read one newline-terminated line into `buf` (newline excluded), keeping
+/// at most `cap` bytes; the rest of an over-long line is consumed and
+/// discarded. Returns `Ok(None)` at EOF, otherwise `Ok(Some(overflowed))`.
+fn read_line_capped<R: BufRead>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<Option<bool>> {
+    buf.clear();
+    let mut seen_any = false;
+    let mut overflow = false;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if seen_any { Some(overflow) } else { None });
+        }
+        seen_any = true;
+        let (take, consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(idx) => (&chunk[..idx], idx + 1, true),
+            None => (chunk, chunk.len(), false),
+        };
+        let room = cap.saturating_sub(buf.len());
+        if take.len() > room {
+            overflow = true;
+            buf.extend_from_slice(&take[..room]);
+        } else {
+            buf.extend_from_slice(take);
+        }
+        r.consume(consumed);
+        if done {
+            return Ok(Some(overflow));
+        }
+    }
+}
+
+/// A streaming, loss-tolerant trace reader.
+///
+/// Yields every record it can decode and resyncs at the next newline
+/// after any line it cannot, tallying skips in [`CodecStats`]. A corrupt
+/// or missing header is recovered with placeholder metadata (flagged in
+/// the stats) rather than aborting: on a live monitor the records after
+/// a damaged prologue are still worth having.
+pub struct TraceReader<R: Read> {
+    reader: BufReader<R>,
+    meta: TraceMeta,
+    stats: CodecStats,
+    buf: Vec<u8>,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Open a trace stream; only an I/O error on the header line is fatal.
+    pub fn new(source: R) -> Result<TraceReader<R>, CodecError> {
+        let mut reader = BufReader::new(source);
+        let mut stats = CodecStats::default();
+        let mut buf = Vec::new();
+        let first = read_line_capped(&mut reader, &mut buf, MAX_LINE_BYTES)?;
+        let meta = match first {
+            Some(false) => {
+                let text = String::from_utf8_lossy(&buf);
+                match decode_header(&text) {
+                    Ok(meta) => meta,
+                    Err(_) => {
+                        stats.header_recovered = true;
+                        recovered_meta()
+                    }
+                }
+            }
+            _ => {
+                stats.header_recovered = true;
+                recovered_meta()
+            }
+        };
+        Ok(TraceReader {
+            reader,
+            meta,
+            stats,
+            buf,
+            done: false,
+        })
+    }
+
+    /// Trace metadata from the header (or the recovery placeholder).
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &CodecStats {
+        &self.stats
+    }
+
+    /// Consume the reader, returning its final accounting.
+    pub fn into_stats(self) -> CodecStats {
+        self.stats
+    }
+
+    /// Next decodable record, skipping (and counting) corrupt lines.
+    pub fn next_record(&mut self) -> Option<TraceRecord> {
+        while !self.done {
+            let read = read_line_capped(&mut self.reader, &mut self.buf, MAX_LINE_BYTES);
+            let overflow = match read {
+                Ok(Some(overflow)) => overflow,
+                Ok(None) => {
+                    self.done = true;
+                    return None;
+                }
+                Err(_) => {
+                    self.stats.io_errors += 1;
+                    self.done = true;
+                    return None;
+                }
+            };
+            if overflow {
+                self.stats.skipped_oversize += 1;
+                continue;
+            }
+            let Ok(text) = std::str::from_utf8(&self.buf) else {
+                self.stats.skipped_non_utf8 += 1;
+                continue;
+            };
+            let text = text.trim();
+            if text.is_empty() {
+                self.stats.blank_lines += 1;
+                continue;
+            }
+            let Ok(value) = json::parse(text) else {
+                self.stats.skipped_bad_json += 1;
+                continue;
+            };
+            match decode_record(&value) {
+                Ok(rec) => {
+                    self.stats.records_read += 1;
+                    return Some(rec);
+                }
+                Err(_) => {
+                    self.stats.skipped_bad_schema += 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = TraceRecord;
+    fn next(&mut self) -> Option<TraceRecord> {
+        self.next_record()
+    }
+}
+
+fn recovered_meta() -> TraceMeta {
+    TraceMeta {
+        name: "<recovered>".to_string(),
+        duration_secs: 0.0,
+        subscribers: 0,
+        start_hour: 0,
+        start_weekday: 0,
+    }
+}
+
+/// Read a trace leniently, collecting every decodable record plus the
+/// skip accounting. Only an I/O failure on the header line returns `Err`.
+pub fn read_trace_lossy<R: Read>(source: R) -> Result<(Trace, CodecStats), CodecError> {
+    let mut reader = TraceReader::new(source)?;
+    let mut records = Vec::new();
+    while let Some(r) = reader.next_record() {
+        records.push(r);
+    }
+    let meta = reader.meta().clone();
+    Ok((Trace { meta, records }, reader.into_stats()))
 }
 
 #[cfg(test)]
@@ -144,9 +595,48 @@ mod tests {
         }
     }
 
+    fn http_trace(n: usize) -> Trace {
+        let mut t = sample_trace();
+        t.records = (0..n)
+            .map(|i| {
+                TraceRecord::Http(HttpTransaction {
+                    ts: i as f64,
+                    client_ip: 1,
+                    server_ip: 2,
+                    server_port: 80,
+                    method: Method::Get,
+                    request: RequestHeaders {
+                        host: format!("host{i}.example"),
+                        uri: "/x?q=\"quoted\"".to_string(),
+                        referer: (i % 2 == 0).then(|| "http://ref.example/".to_string()),
+                        user_agent: Some("UA/1.0 (λ)".to_string()),
+                    },
+                    response: ResponseHeaders {
+                        status: 200,
+                        content_type: Some("text/html".to_string()),
+                        content_length: Some(1000 + i as u64),
+                        location: None,
+                    },
+                    tcp_handshake_ms: 12.5,
+                    http_handshake_ms: 80.25,
+                })
+            })
+            .collect();
+        t
+    }
+
     #[test]
     fn roundtrip() {
         let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn roundtrip_http_records() {
+        let trace = http_trace(5);
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
         let back = read_trace(buf.as_slice()).unwrap();
@@ -203,5 +693,112 @@ mod tests {
         buf.extend_from_slice(b"\n\n");
         let back = read_trace(buf.as_slice()).unwrap();
         assert_eq!(back.records.len(), 1);
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_input() {
+        let trace = http_trace(20);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let strict = read_trace(buf.as_slice()).unwrap();
+        let (lossy, stats) = read_trace_lossy(buf.as_slice()).unwrap();
+        assert_eq!(strict, lossy);
+        assert_eq!(stats.records_read, 20);
+        assert_eq!(stats.total_skipped(), 0);
+        assert!(!stats.header_recovered);
+    }
+
+    #[test]
+    fn lossy_resyncs_after_corrupt_lines() {
+        let trace = http_trace(10);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        // Corrupt record lines 2 and 7 (indexes 2 and 7 after the header)
+        // three different ways, and add one invalid-UTF-8 line.
+        lines[2] = lines[2][..lines[2].len() / 2].to_string(); // truncation
+        lines[7] = "{\"Http\":{\"ts\":\"oops\"}}".to_string(); // schema break
+        lines.push("!!! noise !!!".to_string());
+        let mut bytes = lines.join("\n").into_bytes();
+        bytes.extend_from_slice(b"\n\xff\xfe garbage\n");
+
+        // Strict aborts at the first corrupt line (header is line 1, so
+        // the truncated record at index 2 of the file is line 3)…
+        assert!(matches!(
+            read_trace(bytes.as_slice()),
+            Err(CodecError::BadRecord { line: 3, .. })
+        ));
+        // …while lossy keeps everything else.
+        let (out, stats) = read_trace_lossy(bytes.as_slice()).unwrap();
+        assert_eq!(out.records.len(), 8);
+        assert_eq!(stats.records_read, 8);
+        assert_eq!(stats.skipped_bad_json, 2); // truncation + "!!! noise !!!"
+        assert_eq!(stats.skipped_bad_schema, 1);
+        assert_eq!(stats.skipped_non_utf8, 1);
+        assert_eq!(stats.total_skipped(), 4);
+        assert_eq!(out.meta, trace.meta);
+    }
+
+    #[test]
+    fn lossy_recovers_from_corrupt_header() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        // Destroy the header line.
+        let nl = buf.iter().position(|&b| b == b'\n').unwrap();
+        for b in &mut buf[..nl] {
+            *b = b'#';
+        }
+        let (out, stats) = read_trace_lossy(buf.as_slice()).unwrap();
+        assert!(stats.header_recovered);
+        assert_eq!(out.meta.name, "<recovered>");
+        assert_eq!(out.records, trace.records);
+    }
+
+    #[test]
+    fn lossy_handles_empty_stream() {
+        let (out, stats) = read_trace_lossy(io::empty()).unwrap();
+        assert!(out.records.is_empty());
+        assert!(stats.header_recovered);
+        assert_eq!(stats.lines_seen(), 0);
+    }
+
+    #[test]
+    fn lossy_skips_oversize_lines() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        // A single giant line (no newline until the end).
+        buf.extend(std::iter::repeat_n(b'x', MAX_LINE_BYTES + 10));
+        buf.push(b'\n');
+        let (out, stats) = read_trace_lossy(buf.as_slice()).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(stats.skipped_oversize, 1);
+    }
+
+    #[test]
+    fn streaming_reader_exposes_meta_and_stats() {
+        let trace = http_trace(3);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.meta().name, "RBN-T");
+        let n = reader.by_ref().count();
+        assert_eq!(n, 3);
+        assert_eq!(reader.stats().records_read, 3);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let stats = CodecStats {
+            records_read: 5,
+            skipped_bad_json: 2,
+            header_recovered: true,
+            ..Default::default()
+        };
+        let s = stats.to_string();
+        assert!(s.contains("read 5"));
+        assert!(s.contains("header recovered"));
     }
 }

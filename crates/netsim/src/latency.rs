@@ -9,10 +9,9 @@
 
 use crate::rtt::lognormal;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How much back-office machinery sits behind a response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendClass {
     /// Static content served directly (cache hit, static file).
     Static,
@@ -26,7 +25,7 @@ pub enum BackendClass {
 }
 
 /// Parameters of the server-side latency model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyModel {
     /// Median processing time of static responses (ms).
     pub static_ms: f64,

@@ -17,7 +17,13 @@
 //!   [`record::TraceRecord`]s, keeping per-connection TCP handshake times
 //!   for persistent connections and reducing HTTPS to opaque flow records.
 //! * [`codec`] — a newline-delimited JSON trace format with a versioned
-//!   header, so experiments can persist and re-read captures.
+//!   header, so experiments can persist and re-read captures. Ships both a
+//!   strict reader and a lossy [`codec::TraceReader`] that resyncs after
+//!   corrupt lines and accounts for what it skipped.
+//! * [`faults`] — deterministic, seeded fault injection ([`FaultInjector`])
+//!   modelling the degradations a live vantage point produces: capture
+//!   loss, truncation, garbling, missing headers, clock skew, duplicates.
+//! * [`json`] — the minimal panic-free JSON layer behind the codec.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +31,8 @@
 pub mod anonymize;
 pub mod capture;
 pub mod codec;
+pub mod faults;
+pub mod json;
 pub mod latency;
 pub mod nat;
 pub mod record;
@@ -32,6 +40,7 @@ pub mod rtt;
 
 pub use anonymize::Anonymizer;
 pub use capture::{Capture, RequestEvent};
+pub use faults::{FaultCounts, FaultInjector, FaultProfile};
 pub use latency::LatencyModel;
 pub use nat::NatGateway;
 pub use record::{TlsConnection, Trace, TraceMeta, TraceRecord};

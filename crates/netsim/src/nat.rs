@@ -7,10 +7,8 @@
 //! each household owns one public address; its devices keep their identity
 //! only in the User-Agent string.
 
-use serde::{Deserialize, Serialize};
-
 /// The NAT gateway of one household.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NatGateway {
     /// The household's public (pre-anonymization) address.
     pub public_addr: u32,

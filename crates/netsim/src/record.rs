@@ -1,13 +1,12 @@
 //! Trace records: what the DAG-style monitor writes to disk.
 
 use http_model::HttpTransaction;
-use serde::{Deserialize, Serialize};
 
 /// An opaque HTTPS flow record. Port-based classification tells the monitor
 /// this is TLS on 443; nothing inside the connection is visible. The paper
 /// uses exactly two properties of such flows: the server address (matched
 /// against the list of Adblock Plus server IPs) and the byte volume.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TlsConnection {
     /// Seconds since trace start.
     pub ts: f64,
@@ -22,7 +21,7 @@ pub struct TlsConnection {
 }
 
 /// One captured record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceRecord {
     /// An HTTP transaction with header fields (TCP port 80).
     Http(HttpTransaction),
@@ -49,7 +48,7 @@ impl TraceRecord {
 }
 
 /// Metadata of a captured trace — the fields of Table 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
     /// Trace name, e.g. `RBN-1`.
     pub name: String,
@@ -65,7 +64,7 @@ pub struct TraceMeta {
 }
 
 /// A captured trace: metadata plus records ordered by timestamp.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Capture metadata.
     pub meta: TraceMeta,
@@ -126,8 +125,8 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use http_model::transaction::Method;
     use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
 
     fn http_record(ts: f64, bytes: u64) -> TraceRecord {
         TraceRecord::Http(HttpTransaction {
@@ -168,7 +167,11 @@ mod tests {
                 start_hour: 0,
                 start_weekday: 5,
             },
-            records: vec![http_record(0.0, 100), https_record(1.0), http_record(2.0, 50)],
+            records: vec![
+                http_record(0.0, 100),
+                https_record(1.0),
+                http_record(2.0, 50),
+            ],
         };
         assert_eq!(trace.http_count(), 2);
         assert_eq!(trace.https_count(), 1);

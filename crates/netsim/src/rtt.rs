@@ -9,10 +9,9 @@
 //! while the 120 ms mode comes from RTB auctions on top (see [`crate::latency`]).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Geographic placement of a server relative to the vantage point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Region {
     /// CDN cache deployed inside the ISP (Akamai-style) — sub-millisecond.
     IspCache,

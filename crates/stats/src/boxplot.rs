@@ -1,7 +1,6 @@
 //! Box-plot (Tukey) summaries for Figure 2 of the paper.
 
 use crate::percentile::percentile_sorted;
-use serde::{Deserialize, Serialize};
 
 /// A Tukey box-plot summary: quartiles, whiskers at 1.5 IQR, and outliers.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// requests for different browser configurations and activity levels; the
 /// experiment harness reproduces those panels by building one `BoxPlot` per
 /// (configuration, page-load-count) cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoxPlot {
     /// Number of samples.
     pub count: usize,

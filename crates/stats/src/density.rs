@@ -1,7 +1,6 @@
 //! Smoothed log-scale densities (Figures 6 and 7 of the paper).
 
 use crate::histogram::LogHistogram;
-use serde::{Deserialize, Serialize};
 
 /// A kernel-smoothed estimate of the probability density of `log10(X)`.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// [`LogHistogram`] and convolving with a small Gaussian kernel, which is
 /// enough to recover the *modes* the paper argues from (43 B pixels, >1 MB
 /// video ads; 1 / 10 / 120 ms latency modes).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogDensity {
     hist: LogHistogram,
     /// Gaussian kernel bandwidth in log10 units.

@@ -1,14 +1,12 @@
 //! Empirical cumulative distribution functions (Figure 4 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical CDF over a set of f64 samples.
 ///
 /// Construction sorts the samples once; evaluation is a binary search. The
 /// paper uses ECDFs to show the per-browser-family distribution of the
 /// percentage of ad requests (Figure 4), which is how Adblock Plus candidates
 /// become visible as a mass near zero.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }

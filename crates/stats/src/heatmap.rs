@@ -1,14 +1,12 @@
 //! 2-D log-log heat maps (Figure 3 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// A 2-D histogram over `(log10(x), log10(y))`, used to render the Figure 3
 /// heat map of total requests vs ad requests per ⟨IP, User-Agent⟩ pair.
 ///
 /// The paper's axes start at 10^0, but many pairs issue *zero* ad requests;
 /// like the paper's plot those points are clamped onto the lowest bin of the
 /// affected axis so the dense "no ads at all" row stays visible.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeatMap2d {
     x_lo: f64,
     x_hi: f64,
@@ -28,7 +26,10 @@ impl HeatMap2d {
     /// Panics when a dimension is empty or has zero bins.
     pub fn new(x_lo: f64, x_hi: f64, nx: usize, y_lo: f64, y_hi: f64, ny: usize) -> Self {
         assert!(nx > 0 && ny > 0, "heat map needs bins in both dimensions");
-        assert!(x_hi > x_lo && y_hi > y_lo, "heat map ranges must be non-empty");
+        assert!(
+            x_hi > x_lo && y_hi > y_lo,
+            "heat map ranges must be non-empty"
+        );
         HeatMap2d {
             x_lo,
             x_hi,

@@ -1,13 +1,11 @@
 //! Linear and logarithmic histograms.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-range linear histogram over f64 samples.
 ///
 /// Samples outside the configured range are counted in saturating edge bins
 /// (`underflow` / `overflow`) so that totals remain conserved — important for
 /// traffic shares where dropping the tail would skew percentages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -98,7 +96,7 @@ impl Histogram {
 
 /// A histogram over `log10(x)` for positive samples, used for the
 /// object-size distributions in Figure 6 (x axis 1 B .. 100 MB, log scale).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     inner: Histogram,
     nonpositive: u64,
@@ -141,7 +139,11 @@ impl LogHistogram {
 
     /// Bin centers expressed back in linear units (`10^center`).
     pub fn centers_linear(&self) -> Vec<f64> {
-        self.inner.centers().iter().map(|&c| 10f64.powf(c)).collect()
+        self.inner
+            .centers()
+            .iter()
+            .map(|&c| 10f64.powf(c))
+            .collect()
     }
 
     /// Bin centers in log10 units.

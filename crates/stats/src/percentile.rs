@@ -1,7 +1,5 @@
 //! Quantiles and five-plus-number summaries.
 
-use serde::{Deserialize, Serialize};
-
 /// Compute the `q`-th percentile (`0.0..=100.0`) of `sorted` samples using
 /// linear interpolation between closest ranks (the "type 7" estimator used by
 /// R and NumPy's default).
@@ -38,7 +36,7 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
 /// This mirrors the statistics the paper reports for the per-server ad-object
 /// distribution in §8.1 (median 7, mean 438, p90/p95/p99 = 320 / 1.1 K /
 /// 6.8 K).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of (non-NaN) samples.
     pub count: usize,

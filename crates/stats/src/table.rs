@@ -1,9 +1,7 @@
 //! Plain-text table rendering for the experiment reports.
 
-use serde::{Deserialize, Serialize};
-
 /// Horizontal alignment of a table cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Align {
     /// Pad on the right.
     Left,
@@ -13,7 +11,7 @@ pub enum Align {
 
 /// A simple monospace table builder used by the `experiments` driver to print
 /// paper-comparable rows (Tables 1, 3, 4, 5 and the summary blocks).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TextTable {
     title: String,
     header: Vec<String>,
@@ -39,7 +37,8 @@ impl TextTable {
 
     /// Append a row of string slices (convenience).
     pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

@@ -1,14 +1,12 @@
 //! Time-binned counters for Figures 5a/5b of the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// A set of named counters binned over time, e.g. requests per hour split
 /// into non-ad / EasyList / EasyPrivacy / non-intrusive series (Figure 5a),
 /// or ad bytes vs total bytes (Figure 5b).
 ///
 /// Time is measured in seconds from an arbitrary trace origin; the bin width
 /// is fixed at construction (the paper uses one-hour bins).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     bin_secs: u64,
     nbins: usize,

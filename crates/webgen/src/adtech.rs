@@ -1,9 +1,7 @@
 //! Ad-tech companies: networks, exchanges, trackers, analytics.
 
-use serde::{Deserialize, Serialize};
-
 /// What an ad-tech company does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AdTechKind {
     /// Serves display ads (banners, video ads) for publishers.
     AdNetwork,
@@ -16,7 +14,7 @@ pub enum AdTechKind {
 }
 
 /// One ad-tech company in the synthetic ecosystem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdTechCompany {
     /// Index into the ecosystem's company vector.
     pub id: usize,
@@ -91,6 +89,9 @@ mod tests {
 
     #[test]
     fn primary_domain() {
-        assert_eq!(company(AdTechKind::AdNetwork).primary_domain(), "ads.testco.example");
+        assert_eq!(
+            company(AdTechKind::AdNetwork).primary_domain(),
+            "ads.testco.example"
+        );
     }
 }

@@ -1,14 +1,13 @@
 //! A Zipf-ranked top-site list (the Alexa-top-1000 stand-in).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A popularity-ranked list of publisher indices with Zipf sampling.
 ///
 /// The paper's active measurement crawls the Alexa top 1000; its passive
 /// traces reflect real users whose site choices are heavily skewed toward
 /// popular sites. Both uses are served by this type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopSites {
     /// Publisher indices in rank order (rank 0 = most popular).
     ranked: Vec<usize>,
@@ -77,7 +76,12 @@ mod tests {
             counts[t.sample(&mut rng)] += 1;
         }
         // Rank 0 must dominate rank 50 by a large factor.
-        assert!(counts[0] > counts[50] * 5, "c0={} c50={}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "c0={} c50={}",
+            counts[0],
+            counts[50]
+        );
         // Everything gets some probability mass.
         assert!(counts.iter().filter(|&&c| c > 0).count() > 90);
     }

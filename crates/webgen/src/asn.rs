@@ -5,14 +5,12 @@
 //! companies. The synthetic registry instantiates fictional counterparts of
 //! each category plus a hosting tail for small publishers.
 
-use serde::{Deserialize, Serialize};
-
 /// AS identifier (index into the registry).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AsId(pub u32);
 
 /// Player category of an AS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AsKind {
     /// Search giant running search, video streaming, analytics and a large
     /// ad exchange (the paper's Google analogue).
@@ -31,7 +29,7 @@ pub enum AsKind {
 }
 
 /// One autonomous system.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsInfo {
     /// Identifier.
     pub id: AsId,
@@ -42,7 +40,7 @@ pub struct AsInfo {
 }
 
 /// The AS registry.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AsRegistry {
     ases: Vec<AsInfo>,
 }

@@ -159,19 +159,22 @@ impl Ecosystem {
             // whitelisted requests" profile.
             pub_.ad_companies.retain(|&c| c != GIANT_EXCHANGE);
             if pub_.ad_companies.is_empty() {
-                pub_.ad_companies.push(pick_weighted_company(
-                    &companies,
-                    &mut rng,
-                    |c| c.kind == AdTechKind::AdNetwork && !c.acceptable,
-                ));
+                pub_.ad_companies
+                    .push(pick_weighted_company(&companies, &mut rng, |c| {
+                        c.kind == AdTechKind::AdNetwork && !c.acceptable
+                    }));
             }
             unwhitelisted_news.push(id);
         }
         // Rebuild pages of the modified publishers so templates reflect the
         // new company sets.
         for &id in &unwhitelisted_news {
-            let pages = build_pages_for(&publishers[id], &companies, &mut rng,
-                                        publishers[id].pages.len().max(2));
+            let pages = build_pages_for(
+                &publishers[id],
+                &companies,
+                &mut rng,
+                publishers[id].pages.len().max(2),
+            );
             publishers[id].pages = pages;
         }
 
@@ -284,7 +287,7 @@ fn build_companies(
         // (AppNexoid / Criterion analogues), AOLadWorks in the portal AS.
         let (asn, nservers, region) = if is_exchange {
             match i {
-                0 => (adtech_as[0], 18, Region::UsEast), // AppNexoid AS
+                0 => (adtech_as[0], 18, Region::UsEast),   // AppNexoid AS
                 1 => (adtech_as[1], 12, Region::European), // Criterion AS
                 2 => (clouds[i % clouds.len()], 14, Region::UsEast),
                 _ => (portal, 10, Region::UsEast),
@@ -516,12 +519,10 @@ fn build_publishers(
         servers.bind_host(&asset_host, asset_ips);
 
         let regional = rng.gen_bool(config.regional_fraction);
-        let self_hosted_ads = (category == SiteCategory::Tech
-            && self_platform_publisher.is_none())
+        let self_hosted_ads = (category == SiteCategory::Tech && self_platform_publisher.is_none())
             || (regional && rng.gen_bool(0.3))
             || rng.gen_bool(0.18);
-        let is_self_platform =
-            category == SiteCategory::Tech && self_platform_publisher.is_none();
+        let is_self_platform = category == SiteCategory::Tech && self_platform_publisher.is_none();
         if is_self_platform {
             self_platform_publisher = Some(id);
         }
@@ -1039,10 +1040,7 @@ mod tests {
         let eco = small();
         assert_eq!(eco.companies[GIANT_EXCHANGE].name, "Gigglesearch Ads");
         assert!(eco.companies[GIANT_EXCHANGE].rtb);
-        assert_eq!(
-            eco.companies[GIANT_ANALYTICS].kind,
-            AdTechKind::Analytics
-        );
+        assert_eq!(eco.companies[GIANT_ANALYTICS].kind, AdTechKind::Analytics);
     }
 
     #[test]

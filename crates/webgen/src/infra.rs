@@ -3,11 +3,10 @@
 use crate::asn::AsId;
 use netsim::latency::BackendClass;
 use netsim::Region;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One server (the paper uses "server" for an IP address, §8.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Server {
     /// Address label (never anonymized — the paper anonymizes clients only).
     pub ip: u32,
@@ -25,7 +24,7 @@ pub struct Server {
 /// Distinct hostnames may share an IP (CDN edges, virtual hosting) — that is
 /// what lets the same infrastructure serve both ad and regular content, one
 /// of the paper's §8.1 findings.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ServerRegistry {
     servers: Vec<Server>,
     by_ip: HashMap<u32, usize>,
@@ -83,7 +82,9 @@ impl ServerRegistry {
 
     /// All IPs bound to a hostname.
     pub fn host_ips(&self, host: &str) -> Option<&[u32]> {
-        self.hosts.get(&host.to_ascii_lowercase()).map(Vec::as_slice)
+        self.hosts
+            .get(&host.to_ascii_lowercase())
+            .map(Vec::as_slice)
     }
 
     /// Look up a server by IP.

@@ -3,12 +3,11 @@
 use http_model::ContentCategory;
 use netsim::rtt::lognormal;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Size regime of an object. Each class has a characteristic distribution,
 /// which is what makes Figure 6 ("ad-related objects exhibit characteristic
 /// sizes") reproducible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SizeClass {
     /// 1×1 tracking pixel: exactly 43 bytes (the classic minimal GIF the
     /// paper calls out).
@@ -62,7 +61,7 @@ impl SizeClass {
 
 /// Ground-truth role of an object — what the generator *knows* it is, which
 /// the passive methodology must then rediscover from headers alone.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ObjectKind {
     /// Regular first- or third-party content.
     Content,
@@ -90,7 +89,7 @@ impl ObjectKind {
 }
 
 /// One object in a page template.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageObject {
     /// Hostname serving the object.
     pub host: String,
@@ -136,7 +135,7 @@ impl PageObject {
 }
 
 /// A page template: the main document plus its object list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageTemplate {
     /// Path of the main HTML document on the publisher host.
     pub path: String,
@@ -151,7 +150,10 @@ pub struct PageTemplate {
 impl PageTemplate {
     /// Count of ground-truth ad-related objects (ads + trackers).
     pub fn ad_related_count(&self) -> usize {
-        self.objects.iter().filter(|o| o.kind.is_ad_related()).count()
+        self.objects
+            .iter()
+            .filter(|o| o.kind.is_ad_related())
+            .count()
     }
 }
 
@@ -229,10 +231,20 @@ mod tests {
         let t = PageTemplate {
             path: "/index.html".into(),
             objects: vec![
-                PageObject::content("pub.example", "/style.css", ContentCategory::Stylesheet, SizeClass::Stylesheet),
+                PageObject::content(
+                    "pub.example",
+                    "/style.css",
+                    ContentCategory::Stylesheet,
+                    SizeClass::Stylesheet,
+                ),
                 PageObject {
                     kind: ObjectKind::Ad { company: 0 },
-                    ..PageObject::content("ads.example", "/adserve/b.gif", ContentCategory::Image, SizeClass::AdBanner)
+                    ..PageObject::content(
+                        "ads.example",
+                        "/adserve/b.gif",
+                        ContentCategory::Image,
+                        SizeClass::AdBanner,
+                    )
                 },
             ],
             embedded_text_ads: 2,

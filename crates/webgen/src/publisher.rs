@@ -1,11 +1,9 @@
 //! Publishers: site categories and their traffic/ad profiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Site categories, following the categorization the paper applies to
 /// publishers in §7.3 (dating, shopping, translation, audio/video
 /// streaming, mixed content, adult, file sharing, news, tech).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SiteCategory {
     /// News sites: object-heavy, ad-heavy pages.
     News,
@@ -163,7 +161,7 @@ impl SiteCategory {
 }
 
 /// One publisher site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Publisher {
     /// Index into the ecosystem's publisher vector (also its Alexa-style
     /// rank order before popularity shuffling).

@@ -38,11 +38,8 @@ fn main() {
     );
     println!("{}", "-".repeat(50));
     for run in &results.runs {
-        let classified = adscope::pipeline::classify_trace(
-            &run.trace,
-            &classifier,
-            PipelineOptions::default(),
-        );
+        let classified =
+            adscope::pipeline::classify_trace(&run.trace, &classifier, PipelineOptions::default());
         let el = classified
             .requests
             .iter()

@@ -43,12 +43,24 @@ fn main() {
     let page = Url::parse("http://news.site.example/article").unwrap();
     let demos = if args.is_empty() {
         vec![
-            ("http://adserver.example/serve?slot=1", ContentCategory::Script),
-            ("http://cdn.site.example/banners/top.gif", ContentCategory::Image),
+            (
+                "http://adserver.example/serve?slot=1",
+                ContentCategory::Script,
+            ),
+            (
+                "http://cdn.site.example/banners/top.gif",
+                ContentCategory::Image,
+            ),
             ("http://exact.example/ad.js", ContentCategory::Script),
             ("http://media.example/spot.mp4", ContentCategory::Media),
-            ("http://site.example/page?&ad_box_=1", ContentCategory::Document),
-            ("http://adserver.example/required-assets/f.css", ContentCategory::Stylesheet),
+            (
+                "http://site.example/page?&ad_box_=1",
+                ContentCategory::Document,
+            ),
+            (
+                "http://adserver.example/required-assets/f.css",
+                ContentCategory::Stylesheet,
+            ),
             ("http://nice-ads.example/banner.gif", ContentCategory::Image),
             ("http://plain.example/logo.png", ContentCategory::Image),
         ]
@@ -90,6 +102,12 @@ fn main() {
         }
     }
 
-    println!("\nelement hiding on example.com: {:?}", engine.hiding_selectors("example.com"));
-    println!("element hiding elsewhere:      {:?}", engine.hiding_selectors("other.org"));
+    println!(
+        "\nelement hiding on example.com: {:?}",
+        engine.hiding_selectors("example.com")
+    );
+    println!(
+        "element hiding elsewhere:      {:?}",
+        engine.hiding_selectors("other.org")
+    );
 }

@@ -7,8 +7,8 @@
 //! cargo run --release --example rtb_detection
 //! ```
 
-use annoyed_users::prelude::*;
 use adscope::characterize::rtb;
+use annoyed_users::prelude::*;
 
 fn main() {
     let eco = Ecosystem::generate(EcosystemConfig {
@@ -48,8 +48,14 @@ fn main() {
 
     let densities = rtb::handshake_densities(&classified);
     println!("density of HTTP−TCP handshake difference (log ms axis):\n");
-    println!("ads:  modes at {:?} ms", round_all(&densities.ads.modes(0.25)));
-    println!("rest: modes at {:?} ms", round_all(&densities.rest.modes(0.25)));
+    println!(
+        "ads:  modes at {:?} ms",
+        round_all(&densities.ads.modes(0.25))
+    );
+    println!(
+        "rest: modes at {:?} ms",
+        round_all(&densities.rest.modes(0.25))
+    );
 
     let (ads_high, rest_high) = rtb::high_latency_shares(&classified, 100.0);
     println!(

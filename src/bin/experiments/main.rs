@@ -4,7 +4,7 @@
 //! experiments <id>... [--scale small|medium|large] [--seed N]
 //!
 //! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
-//!      fig6 sec73 sec81 table5 fig7 validation all
+//!      fig6 sec73 sec81 table5 fig7 sensitivity validation robustness all
 //! ```
 
 mod experiments;

@@ -207,11 +207,11 @@ impl World {
         // rule covering it is precisely the §7.3 accuracy hazard.
         let is_static_cdn = host.contains("-cdn.");
         if !is_static_cdn
-            && self
-                .eco
-                .companies
-                .iter()
-                .any(|c| c.domains.iter().any(|d| http_model::is_subdomain_or_same(host, d)))
+            && self.eco.companies.iter().any(|c| {
+                c.domains
+                    .iter()
+                    .any(|d| http_model::is_subdomain_or_same(host, d))
+            })
         {
             return true;
         }

@@ -35,7 +35,11 @@ fn classify(eco: &Ecosystem, trace: &Trace) -> ClassifiedTrace {
     adscope::pipeline::classify_trace(trace, &classifier, PipelineOptions::default())
 }
 
-fn evening_drive(eco: &Ecosystem, pop: &mut Population, seed: u64) -> browsersim::drive::DriveOutput {
+fn evening_drive(
+    eco: &Ecosystem,
+    pop: &mut Population,
+    seed: u64,
+) -> browsersim::drive::DriveOutput {
     drive(
         eco,
         pop,
@@ -97,7 +101,11 @@ fn abp_users_have_lower_easylist_ratio() {
             _ => {}
         }
     }
-    assert!(abp_ratios.len() >= 3, "need active ABP users ({})", abp_ratios.len());
+    assert!(
+        abp_ratios.len() >= 3,
+        "need active ABP users ({})",
+        abp_ratios.len()
+    );
     assert!(plain_ratios.len() >= 10);
     let abp_med = stats::percentile(&abp_ratios, 50.0);
     let plain_med = stats::percentile(&plain_ratios, 50.0);
@@ -141,7 +149,10 @@ fn download_indicator_matches_ground_truth_households() {
     }
     assert!(abp_households > 0);
     let frac = abp_households_seen as f64 / abp_households as f64;
-    assert!(frac > 0.9, "only {frac:.2} of active ABP households visible");
+    assert!(
+        frac > 0.9,
+        "only {frac:.2} of active ABP households visible"
+    );
     // And no household without any blocker-plugin browser shows downloads.
     for (truth, _) in pop.truth.iter().zip(&out.ground_truth) {
         if truth.plugin_name == "none" {
@@ -170,7 +181,8 @@ fn type_c_users_are_real_abp_users() {
     );
     let classified = classify(&eco, &out.trace);
     let users = adscope::users::aggregate_users(&classified);
-    let downloads = adscope::infer::households_with_downloads(&classified.https_flows, &eco.abp_ips);
+    let downloads =
+        adscope::infer::households_with_downloads(&classified.https_flows, &eco.abp_ips);
     let inferred = adscope::infer::classify_users(&users, &downloads, 5.0, 400);
     let mut c_total = 0;
     let mut c_real = 0;

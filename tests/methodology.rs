@@ -151,7 +151,10 @@ fn active_crawl_validates_classifier_against_plugins() {
     };
     let vanilla_hits = count_blockable(&results.run(BrowserProfile::Vanilla).trace);
     let adbp_hits = count_blockable(&results.run(BrowserProfile::AdbpAds).trace);
-    assert!(vanilla_hits > 100, "vanilla must show ad traffic: {vanilla_hits}");
+    assert!(
+        vanilla_hits > 100,
+        "vanilla must show ad traffic: {vanilla_hits}"
+    );
     // False positives (residual hits under the blocking profile) stay small.
     let fp_rate = adbp_hits as f64 / vanilla_hits as f64;
     assert!(fp_rate < 0.08, "false-positive rate {fp_rate:.3}");

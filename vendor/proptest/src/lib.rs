@@ -1,0 +1,635 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest its property tests actually
+//! use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`] /
+//! [`prop_oneof!`], regex-lite string strategies, numeric range
+//! strategies, tuples, [`collection::vec`] and [`option::of`], and
+//! [`Strategy::prop_map`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs (via a
+//!   drop guard) but is not minimized. Re-run with `PROPTEST_SEED` to
+//!   reproduce.
+//! * **Regex strategies** support the subset used here: character classes
+//!   (`[a-zA-Z0-9_.-]`, `[!-~ ]`), `\PC` (any non-control char), `.`,
+//!   literals and the quantifiers `{m,n}` `{m}` `{m,}` `*` `+` `?`.
+//! * The number of cases per property defaults to 128 and is overridable
+//!   with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for one test case, honouring `PROPTEST_SEED`.
+    pub fn for_case(case: u64) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_u64);
+        TestRng(StdRng::seed_from_u64(
+            base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound <= 1 {
+            0
+        } else {
+            self.0.gen_range(0..bound)
+        }
+    }
+
+    /// Access the inner generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Number of cases to run per property (`PROPTEST_CASES`, default 128).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128)
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (see [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from a non-empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    Literal(char),
+    /// Inclusive ranges; a sample picks a range then a char within it.
+    Set(Vec<(char, char)>),
+    /// `\PC` / `.`: any printable char, occasionally non-ASCII.
+    Printable,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Literal(c) => *c,
+            CharClass::Set(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len())];
+                char::from_u32(rng.rng().gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+            }
+            CharClass::Printable => {
+                if rng.rng().gen_bool(0.9) {
+                    rng.rng().gen_range(0x20u32..0x7F) as u8 as char
+                } else {
+                    const POOL: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '🦀', '\u{00A0}', '“'];
+                    POOL[rng.below(POOL.len())]
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+/// Compile the supported regex subset into generation pieces. Unsupported
+/// syntax degrades to literals rather than failing: the goal is fuzz
+/// input, not regex fidelity.
+fn compile_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                if ranges.is_empty() {
+                    CharClass::Literal('?')
+                } else {
+                    CharClass::Set(ranges)
+                }
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // \PC / \p{...}: treat any unicode category escape
+                        // as "printable char".
+                        i += 1;
+                        if chars.get(i) == Some(&'{') {
+                            while i < chars.len() && chars[i] != '}' {
+                                i += 1;
+                            }
+                        }
+                        i += 1;
+                        CharClass::Printable
+                    }
+                    Some('d') => {
+                        i += 1;
+                        CharClass::Set(vec![('0', '9')])
+                    }
+                    Some('w') => {
+                        i += 1;
+                        CharClass::Set(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        CharClass::Literal(c)
+                    }
+                    None => CharClass::Literal('\\'),
+                }
+            }
+            '.' => {
+                i += 1;
+                CharClass::Printable
+            }
+            c => {
+                i += 1;
+                CharClass::Literal(c)
+            }
+        };
+        // Quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+                if let Some(close) = close {
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo: usize = lo.trim().parse().unwrap_or(0);
+                        let hi: usize = hi.trim().parse().unwrap_or(lo + 16);
+                        (lo, hi.max(lo))
+                    } else {
+                        let n: usize = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                } else {
+                    i = chars.len();
+                    (1, 1)
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { class, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in compile_pattern(self) {
+            let n = rng.rng().gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(piece.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections and options
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.rng().gen_range(self.size.min..=self.size.max_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy for `Option`s: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.rng().gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failure reporting
+// ---------------------------------------------------------------------------
+
+/// Drop guard that prints the generated inputs when the test body panics.
+pub struct FailureReport(String);
+
+impl FailureReport {
+    /// Capture the formatted inputs for this case.
+    pub fn new(description: String) -> FailureReport {
+        FailureReport(description)
+    }
+}
+
+impl Drop for FailureReport {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("{}", self.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::case_count();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __report = $crate::FailureReport::new(format!(
+                        concat!(
+                            "proptest ", stringify!($name), " failed at case {}:"
+                            $(, "\n  ", stringify!($arg), " = {:?}")+
+                        ),
+                        __case $(, &$arg)+
+                    ));
+                    { $body }
+                    drop(__report);
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property (plain `assert!` here — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(1)
+    }
+
+    #[test]
+    fn regex_lite_char_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,6}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn regex_lite_literals_and_sets() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,4}/[a-z0-9.+-]{1,5}".generate(&mut r);
+            assert!(s.contains('/'), "{s:?}");
+            let (a, b) = s.split_once('/').unwrap();
+            assert!((1..=4).contains(&a.len()));
+            assert!((1..=5).contains(&b.len()));
+        }
+    }
+
+    #[test]
+    fn regex_lite_printable_category() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "\\PC{0,120}".generate(&mut r);
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn range_and_collection_strategies() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let n = (3usize..7).generate(&mut r);
+            assert!((3..7).contains(&n));
+            let v = collection::vec(0u8..=255, 2..5).generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            let f = (-1.0f64..1.0).generate(&mut r);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let mut r = rng();
+        let s = prop_oneof![
+            Just("a".to_string()),
+            (0u32..10).prop_map(|n| format!("n{n}")),
+        ];
+        let mut saw_a = false;
+        let mut saw_n = false;
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            if v == "a" {
+                saw_a = true;
+            } else {
+                assert!(v.starts_with('n'));
+                saw_n = true;
+            }
+        }
+        assert!(saw_a && saw_n);
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, v in collection::vec(0u8..=9, 0..4)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert!(v.iter().all(|b| *b <= 9));
+        }
+    }
+}

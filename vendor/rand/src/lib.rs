@@ -1,0 +1,282 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small API surface it actually uses: [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
+//! `gen_range` / `gen_bool`, [`rngs::StdRng`] and
+//! [`seq::SliceRandom::shuffle`]. The generator behind `StdRng` is
+//! xoshiro256++ seeded via SplitMix64 — not the upstream ChaCha12, so
+//! streams differ from the real crate, but every consumer in this
+//! workspace only relies on determinism-for-a-seed and statistical
+//! quality, never on exact stream values.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    ///
+    /// Panics when the range is empty, like the real crate.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        sample_f64_unit(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over an interval. The blanket
+/// [`SampleRange`] impls below are deliberately generic over `T` (like the
+/// real crate) so float-literal inference at `gen_range(0.0..0.4)` call
+/// sites resolves.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`; callers guarantee `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+fn sample_f64_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random bits → [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in [0, bound) without modulo bias (Lemire's method,
+/// with rejection on the low product half).
+fn sample_bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let lo = m as u64;
+        if lo >= bound || lo >= lo.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                let off = sample_bounded_u64(rng, span);
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = sample_bounded_u64(rng, span + 1);
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let u = sample_f64_unit(rng) as $t;
+                let v = lo + (hi - lo) * u;
+                // Floating rounding can land exactly on `hi`; fold it back.
+                if v >= hi { lo } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                lo + (hi - lo) * sample_f64_unit(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Small, fast, passes BigCrush; seeded from a `u64` through SplitMix64
+    /// as the xoshiro authors recommend.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            // SplitMix64 to spread the seed over the full 256-bit state.
+            let mut x = state;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait providing in-place shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100)
+            .filter(|_| a.gen_range(0..100u32) == c.gen_range(0..100u32))
+            .count();
+        assert!(same < 50, "different seeds must diverge");
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10..20usize);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.1)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+    }
+}
