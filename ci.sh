@@ -13,6 +13,16 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> experiments metrics --scale small (exposition gate)"
+# Capture, then grep: `... | grep -q` would close the pipe mid-print and
+# kill the binary with SIGPIPE before it writes the artifacts.
+metrics_out="$(./target/release/experiments metrics --scale small)"
+grep -q "exposition: VALID" <<<"$metrics_out"
+test -s target/experiments/metrics.prom
+grep -q '^# TYPE ' target/experiments/metrics.prom
+grep -q '^adscope_requests_classified_total ' target/experiments/metrics.prom
+test -s target/experiments/events.ndjson
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

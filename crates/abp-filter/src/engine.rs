@@ -116,6 +116,42 @@ impl TokenIndex {
     fn len(&self) -> usize {
         self.by_token.values().map(Vec::len).sum::<usize>() + self.untokenized.len()
     }
+
+    fn untokenized_len(&self) -> usize {
+        self.untokenized.len()
+    }
+}
+
+/// Metric handles for the engine's hot path. One atomic add per counter
+/// per [`Engine::classify`] call — tallies are accumulated in locals
+/// inside the match loops and flushed once at the end.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    requests: obs::Counter,
+    rules_evaluated: obs::Counter,
+    tokenizer_hits: obs::Counter,
+    whitelist_overrides: obs::Counter,
+    first_match_depth: obs::Histogram,
+}
+
+impl EngineMetrics {
+    /// Bind handles against an explicit registry.
+    pub fn bind(registry: &obs::Registry) -> EngineMetrics {
+        EngineMetrics {
+            requests: registry.counter("abp_requests_total"),
+            rules_evaluated: registry.counter("abp_rules_evaluated_total"),
+            tokenizer_hits: registry.counter("abp_tokenizer_hits_total"),
+            whitelist_overrides: registry.counter("abp_whitelist_overrides_total"),
+            first_match_depth: registry.histogram("abp_first_match_depth"),
+        }
+    }
+}
+
+impl Default for EngineMetrics {
+    /// Handles bound to the global registry.
+    fn default() -> EngineMetrics {
+        EngineMetrics::bind(obs::global())
+    }
 }
 
 /// The filter engine: loaded lists + token indexes.
@@ -134,6 +170,8 @@ pub struct Engine {
     /// Literal query fragments appearing in any filter — exported so the URL
     /// normalizer never rewrites values that rules depend on (§3.1).
     query_literals: Vec<String>,
+    /// Hot-path metric handles (global registry unless rebound).
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -196,6 +234,12 @@ impl Engine {
         &self.query_literals
     }
 
+    /// Rebind the engine's metric handles to an explicit registry
+    /// (hermetic tests; per-shard registries).
+    pub fn bind_metrics(&mut self, registry: &obs::Registry) {
+        self.metrics = EngineMetrics::bind(registry);
+    }
+
     /// Classify a request. See [`Classification`] for the verdict structure.
     pub fn classify(&self, req: &Request<'_>) -> Classification {
         let url_string = req.url.as_string().to_ascii_lowercase();
@@ -206,7 +250,12 @@ impl Engine {
             .map(|ph| is_third_party(req.url.host(), ph))
             .unwrap_or(false);
 
-        let applies = |e: &Entry| -> bool {
+        // Local tallies, flushed as one atomic add per metric at the end.
+        let mut rules_evaluated = 0u64;
+        let mut first_match_depth: Option<u64> = None;
+
+        let mut applies = |e: &Entry| -> bool {
+            rules_evaluated += 1;
             let o = &e.filter.options;
             o.applies_to_type(req.category)
                 && o.applies_on_domain(page_host)
@@ -215,12 +264,19 @@ impl Engine {
         };
 
         // Blocking: record at most one match per list, in list order.
+        // Every blocking candidate is visited, so token-index hits are
+        // the visited count minus the always-appended untokenized tail.
         let mut blocking: Vec<FilterRef> = Vec::new();
+        let mut blocking_candidates = 0u64;
         for e in self.blocking.candidates(&tokens) {
+            blocking_candidates += 1;
             if blocking.iter().any(|f| f.list == e.list) {
                 continue;
             }
             if applies(e) {
+                if first_match_depth.is_none() {
+                    first_match_depth = Some(blocking_candidates - 1);
+                }
                 blocking.push(FilterRef {
                     list: e.list,
                     filter: e.filter.raw.clone(),
@@ -228,6 +284,8 @@ impl Engine {
             }
         }
         blocking.sort_by_key(|f| f.list);
+        let tokenizer_hits =
+            blocking_candidates.saturating_sub(self.blocking.untokenized_len() as u64);
 
         // Exceptions against the request URL.
         let mut exception = None;
@@ -263,6 +321,16 @@ impl Engine {
                     }
                 }
             }
+        }
+
+        self.metrics.requests.inc();
+        self.metrics.rules_evaluated.add(rules_evaluated);
+        self.metrics.tokenizer_hits.add(tokenizer_hits);
+        if let Some(depth) = first_match_depth {
+            self.metrics.first_match_depth.record(depth);
+        }
+        if exception.is_some() && !blocking.is_empty() {
+            self.metrics.whitelist_overrides.inc();
         }
 
         Classification {

@@ -53,7 +53,7 @@ pub mod rule;
 pub mod subscription;
 pub mod tokenizer;
 
-pub use engine::{Classification, Engine, FilterRef, ListId, Request};
+pub use engine::{Classification, Engine, EngineMetrics, FilterRef, ListId, Request};
 pub use hiding::HidingRule;
 pub use options::{FilterOptions, PartyConstraint};
 pub use parser::{parse_line, ParsedLine};

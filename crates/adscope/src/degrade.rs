@@ -70,6 +70,24 @@ impl DegradationReport {
             + self.out_of_order_records
     }
 
+    /// The counters as `(reason, count)` pairs — the bridge into metric
+    /// label space (`adscope_degradation_total{reason="..."}`). The
+    /// reconciliation tests lean on this being *exhaustive*: every field
+    /// appears exactly once, so `counts().sum == total()`.
+    pub fn counts(&self) -> [(&'static str, usize); 9] {
+        [
+            ("unparseable_urls", self.unparseable_urls),
+            ("unparseable_referers", self.unparseable_referers),
+            ("unparseable_locations", self.unparseable_locations),
+            ("missing_content_type", self.missing_content_type),
+            ("missing_user_agent", self.missing_user_agent),
+            ("content_type_fallbacks", self.content_type_fallbacks),
+            ("refmap_misses", self.refmap_misses),
+            ("broken_redirect_chains", self.broken_redirect_chains),
+            ("out_of_order_records", self.out_of_order_records),
+        ]
+    }
+
     /// Merge another report into this one (e.g. across traces).
     pub fn absorb(&mut self, other: &DegradationReport) {
         self.unparseable_urls += other.unparseable_urls;
@@ -124,6 +142,11 @@ mod tests {
         assert_eq!(a.unparseable_urls, 3);
         assert_eq!(a.quarantined(), 3);
         assert_eq!(a.total(), 3 + 3 + 4);
+        assert_eq!(
+            a.counts().iter().map(|(_, c)| c).sum::<usize>(),
+            a.total(),
+            "counts() must enumerate every field"
+        );
         let s = a.to_string();
         assert!(s.contains("quarantined 3"));
         assert!(s.contains("broken redirects 4"));

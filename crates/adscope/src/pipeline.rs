@@ -89,19 +89,43 @@ impl ClassifiedTrace {
     }
 }
 
-/// Run the full pipeline over a captured trace.
-///
-/// Stage order per user, in time order: referrer map → content type
-/// (extension/header now, redirect backfill after) → URL normalization →
-/// classification. Classification must run *after* the backfill pass
-/// because redirect targets fix the redirecting request's type (§3.1).
+/// Run the full pipeline over a captured trace, recording metrics into
+/// the global [`obs`] registry. See [`classify_trace_in`].
 pub fn classify_trace(
     trace: &Trace,
     classifier: &PassiveClassifier,
     opts: PipelineOptions,
 ) -> ClassifiedTrace {
+    classify_trace_in(trace, classifier, opts, obs::global())
+}
+
+/// Run the full pipeline over a captured trace, recording metrics into
+/// an explicit registry (tests inject a hermetic one).
+///
+/// Stage order per user, in time order: referrer map → content type
+/// (extension/header now, redirect backfill after) → URL normalization →
+/// classification. Classification must run *after* the backfill pass
+/// because redirect targets fix the redirecting request's type (§3.1).
+///
+/// Each stage runs under an `adscope_stage` span (wall time in
+/// `adscope_stage_duration_ns{stage=...}`, records in/out on the span
+/// event), and every [`DegradationReport`] counter is bridged into
+/// `adscope_degradation_total{reason=...}` so the exposition and the
+/// report always agree.
+pub fn classify_trace_in(
+    trace: &Trace,
+    classifier: &PassiveClassifier,
+    opts: PipelineOptions,
+    registry: &obs::Registry,
+) -> ClassifiedTrace {
+    // Stage: extract (URL reassembly + quarantine).
+    let mut span = registry.span_with("adscope_stage", &[("stage", "extract")]);
+    span.count("records_in", trace.records.len() as u64);
     let (objects, mut degradation) = extract_with_report(trace);
     let dropped = degradation.quarantined();
+    span.count("records_out", objects.len() as u64);
+    drop(span);
+
     let normalizer = if opts.normalize {
         UrlNormalizer::from_engine(classifier.engine())
     } else {
@@ -111,6 +135,8 @@ pub fn classify_trace(
     };
 
     // Pass 1: per-user referrer map + provisional types.
+    let mut span = registry.span_with("adscope_stage", &[("stage", "refmap")]);
+    span.count("records_in", objects.len() as u64);
     let mut per_user: HashMap<(u32, Option<&str>), RefMap> = HashMap::new();
     let mut pages: Vec<Option<Url>> = Vec::with_capacity(objects.len());
     let mut categories: Vec<ContentCategory> = Vec::with_capacity(objects.len());
@@ -143,11 +169,19 @@ pub fn classify_trace(
     for map in per_user.values() {
         degradation.broken_redirect_chains += map.redirects_inserted() - map.redirects_consumed();
     }
+    span.count("users", per_user.len() as u64);
+    span.count("records_out", pages.len() as u64);
+    drop(span);
+
     // Pass 2: redirect type backfill.
+    let mut span = registry.span_with("adscope_stage", &[("stage", "backfill")]);
+    span.count("records_in", backfills.len() as u64);
+    let mut backfilled = 0u64;
     for (idx, cat) in backfills {
         if let Some(&pos) = pos_of_idx.get(&idx) {
             if cat != ContentCategory::Other {
                 categories[pos] = cat;
+                backfilled += 1;
             }
         }
     }
@@ -158,8 +192,13 @@ pub fn classify_trace(
             degradation.content_type_fallbacks += 1;
         }
     }
+    span.count("records_out", backfilled);
+    drop(span);
+
     // Pass 3: normalize + classify.
-    let requests = objects
+    let mut span = registry.span_with("adscope_stage", &[("stage", "classify")]);
+    span.count("records_in", objects.len() as u64);
+    let requests: Vec<ClassifiedRequest> = objects
         .iter()
         .enumerate()
         .map(|(pos, obj)| {
@@ -181,6 +220,24 @@ pub fn classify_trace(
             }
         })
         .collect();
+    let ad_count = requests.iter().filter(|r| r.label.is_ad()).count();
+    span.count("records_out", requests.len() as u64);
+    span.count("ads", ad_count as u64);
+    drop(span);
+
+    registry
+        .counter("adscope_requests_classified_total")
+        .add(requests.len() as u64);
+    registry
+        .counter("adscope_ad_requests_total")
+        .add(ad_count as u64);
+    // Bridge every degradation counter into label space so the
+    // exposition and the report always reconcile.
+    for (reason, count) in degradation.counts() {
+        registry
+            .counter_with("adscope_degradation_total", &[("reason", reason)])
+            .add(count as u64);
+    }
 
     ClassifiedTrace {
         meta: trace.meta.clone(),

@@ -1,0 +1,132 @@
+//! The exposition and the [`DegradationReport`] must always agree: every
+//! report counter is bridged into exactly one
+//! `adscope_degradation_total{reason=...}` sample, and their totals
+//! reconcile. A reason added to the report but not the bridge (or vice
+//! versa) fails here.
+
+use abp_filter::FilterList;
+use adscope::pipeline::{classify_trace_in, PipelineOptions};
+use adscope::PassiveClassifier;
+use http_model::headers::{RequestHeaders, ResponseHeaders};
+use http_model::transaction::Method;
+use http_model::HttpTransaction;
+use netsim::record::{Trace, TraceMeta, TraceRecord};
+
+fn tx(
+    ts: f64,
+    host: &str,
+    uri: &str,
+    referer: Option<&str>,
+    content_type: Option<&str>,
+) -> TraceRecord {
+    TraceRecord::Http(HttpTransaction {
+        ts,
+        client_ip: 9,
+        server_ip: 1,
+        server_port: 80,
+        method: Method::Get,
+        request: RequestHeaders {
+            host: host.into(),
+            uri: uri.into(),
+            referer: referer.map(str::to_string),
+            user_agent: Some("UA".into()),
+        },
+        response: ResponseHeaders {
+            status: 200,
+            content_type: content_type.map(str::to_string),
+            content_length: Some(500),
+            location: None,
+        },
+        tcp_handshake_ms: 1.0,
+        http_handshake_ms: 2.0,
+    })
+}
+
+/// A trace engineered to trip several distinct degradation reasons:
+/// missing content types, referrers that resolve to no page (refmap
+/// misses), and out-of-order timestamps.
+fn degraded_trace() -> Trace {
+    let records = vec![
+        tx(0.0, "pub.example", "/", None, Some("text/html")),
+        tx(
+            0.5,
+            "cdn.example",
+            "/img.gif",
+            Some("http://pub.example/"),
+            None, // missing Content-Type, recovered from the .gif extension
+        ),
+        // Referer names a page never seen in the trace: refmap miss.
+        tx(
+            0.4, // also out of order vs the previous record
+            "ads.example",
+            "/banner",
+            Some("http://nowhere.example/page"),
+            Some("image/gif"),
+        ),
+        tx(1.0, "pub.example", "/style.css", None, Some("text/css")),
+    ];
+    Trace {
+        meta: TraceMeta {
+            name: "reconcile".into(),
+            duration_secs: 10.0,
+            subscribers: 1,
+            start_hour: 0,
+            start_weekday: 0,
+        },
+        records,
+    }
+}
+
+#[test]
+fn degradation_report_reconciles_with_exposition() {
+    let trace = degraded_trace();
+    let classifier = PassiveClassifier::new(vec![FilterList::parse("easylist", "/banner\n")]);
+    let registry = obs::Registry::new();
+    let classified = classify_trace_in(&trace, &classifier, PipelineOptions::default(), &registry);
+    let report = &classified.degradation;
+    assert!(
+        report.total() > 0,
+        "fixture must actually degrade, or the test is vacuous"
+    );
+
+    let snap = registry.snapshot();
+    // Every report counter appears under its own reason label with the
+    // exact same count.
+    for (reason, count) in report.counts() {
+        assert_eq!(
+            snap.counter("adscope_degradation_total", &[("reason", reason)]),
+            count as u64,
+            "reason {reason:?} out of sync with the report"
+        );
+    }
+    // ... and nothing else does: the labeled samples are exactly the
+    // report's reasons, so the totals reconcile by construction.
+    let labeled = snap
+        .samples
+        .iter()
+        .filter(|(k, _)| k.name == "adscope_degradation_total")
+        .count();
+    assert_eq!(labeled, report.counts().len());
+    assert_eq!(
+        snap.counter_sum("adscope_degradation_total"),
+        report.total() as u64
+    );
+}
+
+#[test]
+fn repeated_runs_accumulate_in_the_same_registry() {
+    let trace = degraded_trace();
+    let classifier = PassiveClassifier::new(vec![FilterList::parse("easylist", "/banner\n")]);
+    let registry = obs::Registry::new();
+    let first = classify_trace_in(&trace, &classifier, PipelineOptions::default(), &registry);
+    classify_trace_in(&trace, &classifier, PipelineOptions::default(), &registry);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter_sum("adscope_degradation_total"),
+        2 * first.degradation.total() as u64
+    );
+    assert_eq!(
+        snap.counter("adscope_requests_classified_total", &[]),
+        2 * first.requests.len() as u64
+    );
+}

@@ -37,5 +37,38 @@ fn pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pipeline);
+/// Instrumentation overhead on the strict-read + classify path: the same
+/// work with recording on vs off (`obs::set_enabled`). The acceptance
+/// budget is <5% — compare the two medians (they land side by side in
+/// `BENCH_baseline.json` when `BENCH_JSON` is set).
+fn obs_overhead(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+    let classifier = bench_classifier(&eco);
+    let trace = bench_trace(&eco);
+    let mut encoded = Vec::new();
+    netsim::codec::write_trace(&trace, &mut encoded).expect("in-memory trace write");
+    let n = trace.http_count() as u64;
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    let read_classify = |encoded: &[u8]| {
+        let t = netsim::codec::read_trace(encoded).expect("strict read");
+        classify_trace(&t, &classifier, PipelineOptions::default())
+    };
+
+    group.bench_function("read_classify_obs_on", |b| {
+        obs::set_enabled(true);
+        b.iter(|| black_box(read_classify(black_box(&encoded))))
+    });
+    group.bench_function("read_classify_obs_off", |b| {
+        obs::set_enabled(false);
+        b.iter(|| black_box(read_classify(black_box(&encoded))))
+    });
+    obs::set_enabled(true);
+    group.finish();
+}
+
+criterion_group!(benches, pipeline, obs_overhead);
 criterion_main!(benches);

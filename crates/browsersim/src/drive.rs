@@ -92,6 +92,12 @@ pub fn drive(
     profile: &ActivityProfile,
     config: &DriveConfig,
 ) -> DriveOutput {
+    let registry = obs::global();
+    let mut span = registry.span_with("browsersim_drive", &[("trace", &config.name)]);
+    // Per-iteration tallies stay in locals; one atomic add per counter
+    // at the end of the drive.
+    let mut visits_total = 0u64;
+    let mut bursts_total = 0u64;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let meta = TraceMeta {
         name: config.name.clone(),
@@ -132,6 +138,7 @@ pub fn drive(
                 }
             }
             was_active[bi] = true;
+            visits_total += visits as u64;
             for _ in 0..visits {
                 let ts = t0 + rng.gen_range(0.0..config.slice_secs);
                 let pub_idx = pick_site(eco, ts, config, &mut rng);
@@ -161,6 +168,7 @@ pub fn drive(
                 * (config.slice_secs / 3600.0)
                 * profile.weight(t0, config.start_hour, config.start_weekday, false);
             let bursts = sample_poisson(expected, &mut rng);
+            bursts_total += bursts as u64;
             for _ in 0..bursts {
                 let ts = t0 + rng.gen_range(0.0..config.slice_secs);
                 for ev in device.burst(eco, ts, &mut rng) {
@@ -170,6 +178,27 @@ pub fn drive(
         }
     }
     let (trace, addr_map) = capture.finish_with_mapping();
+    let issued: u64 = ground_truth.iter().map(|g| g.issued).sum();
+    let blocked: u64 = ground_truth.iter().map(|g| g.blocked).sum();
+    span.count("page_visits", visits_total);
+    span.count("device_bursts", bursts_total);
+    span.count("records", trace.records.len() as u64);
+    drop(span);
+    registry
+        .counter("browsersim_page_visits_total")
+        .add(visits_total);
+    registry
+        .counter("browsersim_device_bursts_total")
+        .add(bursts_total);
+    registry
+        .counter("browsersim_requests_issued_total")
+        .add(issued);
+    registry
+        .counter("browsersim_requests_blocked_total")
+        .add(blocked);
+    registry
+        .counter("browsersim_trace_records_total")
+        .add(trace.records.len() as u64);
     DriveOutput {
         trace,
         ground_truth,

@@ -6,6 +6,14 @@
 //! appear in header traces).
 
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Handle for the parse-failure counter, bound to the global registry
+/// once so repeated failures never pay a registry lookup.
+fn parse_failure_counter() -> &'static obs::Counter {
+    static COUNTER: OnceLock<obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| obs::global().counter("http_model_url_parse_failures_total"))
+}
 
 /// URL scheme; only HTTP(S) matters for the trace methodology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,7 +91,19 @@ pub struct Url {
 impl Url {
     /// Parse a URL string. The host is lowercased; a missing path becomes
     /// `/`; any `#fragment` is dropped.
+    ///
+    /// Failures increment `http_model_url_parse_failures_total` on the
+    /// global registry — failure path only, so the (hot) success path
+    /// costs nothing.
     pub fn parse(input: &str) -> Result<Url, UrlError> {
+        let result = Url::parse_inner(input);
+        if result.is_err() {
+            parse_failure_counter().inc();
+        }
+        result
+    }
+
+    fn parse_inner(input: &str) -> Result<Url, UrlError> {
         let input = input.trim();
         let (scheme, rest) = if let Some(rest) = strip_prefix_ci(input, "http://") {
             (Scheme::Http, rest)

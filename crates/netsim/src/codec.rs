@@ -139,6 +139,9 @@ fn encode_record(out: &mut String, r: &TraceRecord) {
 
 /// Write a trace to any sink.
 pub fn write_trace<W: Write>(trace: &Trace, sink: W) -> Result<(), CodecError> {
+    let registry = obs::global();
+    let mut span = registry.span_with("netsim_codec", &[("op", "write")]);
+    let mut bytes = 0u64;
     let mut w = BufWriter::new(sink);
     let mut line = String::with_capacity(512);
     line.push_str("{\"format\":");
@@ -148,13 +151,21 @@ pub fn write_trace<W: Write>(trace: &Trace, sink: W) -> Result<(), CodecError> {
     encode_meta(&mut line, &trace.meta);
     line.push_str("}\n");
     w.write_all(line.as_bytes())?;
+    bytes += line.len() as u64;
     for r in &trace.records {
         line.clear();
         encode_record(&mut line, r);
         line.push('\n');
         w.write_all(line.as_bytes())?;
+        bytes += line.len() as u64;
     }
     w.flush()?;
+    span.count("records", trace.records.len() as u64);
+    span.count("bytes", bytes);
+    registry
+        .counter("netsim_records_written_total")
+        .add(trace.records.len() as u64);
+    registry.counter("netsim_bytes_written_total").add(bytes);
     Ok(())
 }
 
@@ -308,16 +319,21 @@ fn decode_header(line: &str) -> Result<TraceMeta, CodecError> {
 
 /// Read a trace from any source, aborting on the first malformed line.
 pub fn read_trace<R: Read>(source: R) -> Result<Trace, CodecError> {
+    let registry = obs::global();
+    let mut span = registry.span_with("netsim_codec", &[("op", "read_strict")]);
+    let mut bytes = 0u64;
     let mut reader = BufReader::new(source);
     let mut first = String::new();
     reader.read_line(&mut first)?;
     if first.trim().is_empty() {
         return Err(CodecError::BadHeader("empty stream".to_string()));
     }
+    bytes += first.len() as u64;
     let meta = decode_header(&first)?;
     let mut records = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
+        bytes += line.len() as u64 + 1;
         if line.trim().is_empty() {
             continue;
         }
@@ -330,6 +346,22 @@ pub fn read_trace<R: Read>(source: R) -> Result<Trace, CodecError> {
             error: e,
         })?;
         records.push(rec);
+    }
+    span.count("records", records.len() as u64);
+    span.count("bytes", bytes);
+    let elapsed = span.end();
+    registry
+        .counter("netsim_records_read_total")
+        .add(records.len() as u64);
+    registry.counter("netsim_bytes_read_total").add(bytes);
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        registry
+            .gauge("netsim_read_throughput_rps")
+            .set(records.len() as f64 / secs);
+        registry
+            .gauge("netsim_read_throughput_bps")
+            .set(bytes as f64 / secs);
     }
     Ok(Trace { meta, records })
 }
@@ -433,6 +465,32 @@ fn read_line_capped<R: BufRead>(
     }
 }
 
+/// Metric handles for a lossy reader, bound once at construction so the
+/// per-record hot path is a relaxed atomic add, never a registry lookup.
+#[derive(Debug, Clone)]
+struct ReaderMetrics {
+    records: obs::Counter,
+    bytes: obs::Counter,
+    resync_bad_json: obs::Counter,
+    resync_bad_schema: obs::Counter,
+    resync_non_utf8: obs::Counter,
+    resync_oversize: obs::Counter,
+}
+
+impl ReaderMetrics {
+    fn bind(registry: &obs::Registry) -> ReaderMetrics {
+        let resync = |reason| registry.counter_with("netsim_resync_total", &[("reason", reason)]);
+        ReaderMetrics {
+            records: registry.counter("netsim_lossy_records_read_total"),
+            bytes: registry.counter("netsim_lossy_bytes_read_total"),
+            resync_bad_json: resync("bad_json"),
+            resync_bad_schema: resync("bad_schema"),
+            resync_non_utf8: resync("non_utf8"),
+            resync_oversize: resync("oversize"),
+        }
+    }
+}
+
 /// A streaming, loss-tolerant trace reader.
 ///
 /// Yields every record it can decode and resyncs at the next newline
@@ -440,17 +498,31 @@ fn read_line_capped<R: BufRead>(
 /// or missing header is recovered with placeholder metadata (flagged in
 /// the stats) rather than aborting: on a live monitor the records after
 /// a damaged prologue are still worth having.
+///
+/// Throughput and resync metrics are recorded into the global [`obs`]
+/// registry (`netsim_lossy_*`, `netsim_resync_total{reason=...}`) or the
+/// one passed to [`TraceReader::with_registry`].
 pub struct TraceReader<R: Read> {
     reader: BufReader<R>,
     meta: TraceMeta,
     stats: CodecStats,
     buf: Vec<u8>,
     done: bool,
+    metrics: ReaderMetrics,
 }
 
 impl<R: Read> TraceReader<R> {
     /// Open a trace stream; only an I/O error on the header line is fatal.
     pub fn new(source: R) -> Result<TraceReader<R>, CodecError> {
+        TraceReader::with_registry(source, obs::global())
+    }
+
+    /// Like [`TraceReader::new`], recording metrics into `registry`.
+    pub fn with_registry(
+        source: R,
+        registry: &obs::Registry,
+    ) -> Result<TraceReader<R>, CodecError> {
+        let metrics = ReaderMetrics::bind(registry);
         let mut reader = BufReader::new(source);
         let mut stats = CodecStats::default();
         let mut buf = Vec::new();
@@ -477,6 +549,7 @@ impl<R: Read> TraceReader<R> {
             stats,
             buf,
             done: false,
+            metrics,
         })
     }
 
@@ -513,10 +586,12 @@ impl<R: Read> TraceReader<R> {
             };
             if overflow {
                 self.stats.skipped_oversize += 1;
+                self.metrics.resync_oversize.inc();
                 continue;
             }
             let Ok(text) = std::str::from_utf8(&self.buf) else {
                 self.stats.skipped_non_utf8 += 1;
+                self.metrics.resync_non_utf8.inc();
                 continue;
             };
             let text = text.trim();
@@ -526,15 +601,19 @@ impl<R: Read> TraceReader<R> {
             }
             let Ok(value) = json::parse(text) else {
                 self.stats.skipped_bad_json += 1;
+                self.metrics.resync_bad_json.inc();
                 continue;
             };
             match decode_record(&value) {
                 Ok(rec) => {
                     self.stats.records_read += 1;
+                    self.metrics.records.inc();
+                    self.metrics.bytes.add(self.buf.len() as u64 + 1);
                     return Some(rec);
                 }
                 Err(_) => {
                     self.stats.skipped_bad_schema += 1;
+                    self.metrics.resync_bad_schema.inc();
                 }
             }
         }

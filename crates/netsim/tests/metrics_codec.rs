@@ -1,0 +1,102 @@
+//! The lossy reader's metrics must reconcile with its own `CodecStats`:
+//! same record count, and one `netsim_resync_total{reason=...}` increment
+//! per skipped line, under the matching reason.
+
+use http_model::headers::{RequestHeaders, ResponseHeaders};
+use http_model::transaction::Method;
+use http_model::HttpTransaction;
+use netsim::codec::{write_trace, TraceReader};
+use netsim::record::{Trace, TraceMeta, TraceRecord};
+
+fn small_trace(n: usize) -> Trace {
+    let records = (0..n)
+        .map(|i| {
+            TraceRecord::Http(HttpTransaction {
+                ts: i as f64,
+                client_ip: 1,
+                server_ip: 50,
+                server_port: 80,
+                method: Method::Get,
+                request: RequestHeaders {
+                    host: format!("h{i}.example"),
+                    uri: format!("/obj/{i}"),
+                    referer: None,
+                    user_agent: Some("UA".into()),
+                },
+                response: ResponseHeaders {
+                    status: 200,
+                    content_type: Some("image/gif".into()),
+                    content_length: Some(100),
+                    location: None,
+                },
+                tcp_handshake_ms: 1.0,
+                http_handshake_ms: 2.0,
+            })
+        })
+        .collect();
+    Trace {
+        meta: TraceMeta {
+            name: "metrics-codec".into(),
+            duration_secs: n as f64,
+            subscribers: 1,
+            start_hour: 12,
+            start_weekday: 2,
+        },
+        records,
+    }
+}
+
+#[test]
+fn lossy_reader_metrics_reconcile_with_stats() {
+    let mut bytes = Vec::new();
+    write_trace(&small_trace(8), &mut bytes).expect("write");
+    // Splice corruption after the header line: one line of JSON garbage,
+    // one valid-JSON-wrong-schema line, one invalid-UTF-8 line.
+    let header_end = bytes.iter().position(|&b| b == b'\n').expect("header") + 1;
+    let mut corrupted = bytes[..header_end].to_vec();
+    corrupted.extend_from_slice(b"{not json at all\n");
+    corrupted.extend_from_slice(b"{\"Unknown\":{\"x\":1}}\n");
+    corrupted.extend_from_slice(&[0xFF, 0xFE, b'z', b'\n']);
+    corrupted.extend_from_slice(&bytes[header_end..]);
+
+    let registry = obs::Registry::new();
+    let mut reader =
+        TraceReader::with_registry(corrupted.as_slice(), &registry).expect("reader opens");
+    let mut kept = 0u64;
+    while reader.next_record().is_some() {
+        kept += 1;
+    }
+    let stats = reader.stats().clone();
+    assert_eq!(kept, 8, "all genuine records survive the corruption");
+    assert_eq!(stats.skipped_bad_json, 1);
+    assert_eq!(stats.skipped_bad_schema, 1);
+    assert_eq!(stats.skipped_non_utf8, 1);
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("netsim_lossy_records_read_total", &[]),
+        stats.records_read as u64
+    );
+    assert_eq!(
+        snap.counter("netsim_resync_total", &[("reason", "bad_json")]),
+        stats.skipped_bad_json as u64
+    );
+    assert_eq!(
+        snap.counter("netsim_resync_total", &[("reason", "bad_schema")]),
+        stats.skipped_bad_schema as u64
+    );
+    assert_eq!(
+        snap.counter("netsim_resync_total", &[("reason", "non_utf8")]),
+        stats.skipped_non_utf8 as u64
+    );
+    assert_eq!(
+        snap.counter("netsim_resync_total", &[("reason", "oversize")]),
+        0
+    );
+    assert_eq!(
+        snap.counter_sum("netsim_resync_total"),
+        stats.total_skipped() as u64
+    );
+    // Bytes accounting covers at least the kept record lines.
+    assert!(snap.counter("netsim_lossy_bytes_read_total", &[]) > 0);
+}

@@ -1,0 +1,277 @@
+//! The structured event log: a bounded in-memory ring of timestamped
+//! events, rendered as NDJSON (one JSON object per line).
+//!
+//! The escaping rules here mirror `netsim::json::write_str` exactly —
+//! `obs` cannot depend on `netsim` (the dependency points the other
+//! way), but everything this sink writes must round-trip through
+//! `netsim::json::parse`, which the integration tests enforce.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default event-log capacity. Old events are dropped (and counted) once
+/// the ring is full, so a long run cannot grow memory without bound.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One typed field value on an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string field.
+    Str(String),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A floating-point field.
+    F64(f64),
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> FieldValue {
+        FieldValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> FieldValue {
+        FieldValue::Str(s)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+/// One structured event: a name, a registry-relative timestamp, and a
+/// small set of typed fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the owning registry was created.
+    pub ts_ns: u64,
+    /// Event name (e.g. `span` or `codec_resync`).
+    pub name: &'static str,
+    /// Typed payload fields, in insertion order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Render this event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"ts_ns\":");
+        let _ = write!(out, "{}", self.ts_ns);
+        out.push_str(",\"event\":");
+        write_json_str(&mut out, self.name);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_json_str(&mut out, k);
+            out.push(':');
+            match v {
+                FieldValue::Str(s) => write_json_str(&mut out, s),
+                FieldValue::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                FieldValue::I64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                FieldValue::F64(f) => {
+                    if f.is_finite() {
+                        let _ = write!(out, "{f:?}");
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Append a JSON string literal for `s` (same escaping as
+/// `netsim::json::write_str`).
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A bounded, thread-safe event ring with drop-oldest overflow.
+#[derive(Debug)]
+pub struct EventLog {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn push(&self, event: Event) {
+        let mut ring = self.ring.lock().expect("event log poisoned");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("event log poisoned").len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the held events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Render the current contents as NDJSON, one event per line. If any
+    /// events were evicted, the first line is an `events_dropped` marker
+    /// so readers know the log is a suffix, not the whole story.
+    pub fn render_ndjson(&self) -> String {
+        let events = self.snapshot();
+        let dropped = self.dropped();
+        let mut out = String::with_capacity(events.len() * 96 + 1);
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"ts_ns\":0,\"event\":\"events_dropped\",\"count\":{dropped}}}"
+            );
+        }
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            name: "span",
+            fields: vec![
+                ("stage", FieldValue::from("extract")),
+                ("records", FieldValue::from(42u64)),
+                ("delta", FieldValue::I64(-3)),
+                ("ratio", FieldValue::F64(0.5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn event_renders_stable_json() {
+        assert_eq!(
+            ev(7).to_json(),
+            r#"{"ts_ns":7,"event":"span","stage":"extract","records":42,"delta":-3,"ratio":0.5}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped_like_netsim_json() {
+        let e = Event {
+            ts_ns: 0,
+            name: "t",
+            fields: vec![("msg", FieldValue::from("a\"b\\c\nd\u{1}"))],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"ts_ns\":0,\"event\":\"t\",\"msg\":\"a\\\"b\\\\c\\nd\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event {
+            ts_ns: 0,
+            name: "t",
+            fields: vec![("x", FieldValue::F64(f64::NAN))],
+        };
+        assert!(e.to_json().ends_with("\"x\":null}"));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.push(ev(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let snap = log.snapshot();
+        assert_eq!(snap[0].ts_ns, 2);
+        assert_eq!(snap[2].ts_ns, 4);
+        let ndjson = log.render_ndjson();
+        let mut lines = ndjson.lines();
+        assert!(lines.next().unwrap().contains("events_dropped"));
+        assert_eq!(ndjson.lines().count(), 4);
+    }
+}

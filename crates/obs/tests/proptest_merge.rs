@@ -1,0 +1,121 @@
+//! Property tests: sharded recording + snapshot merge must account for
+//! every single increment and observation, regardless of how the work
+//! is split across registries.
+
+use obs::{Registry, Snapshot};
+use proptest::prelude::*;
+
+/// One recorded operation, distributable to any shard.
+#[derive(Debug, Clone)]
+enum Op {
+    Inc { metric: u8, by: u32 },
+    Observe { metric: u8, value: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u32..1000).prop_map(|(metric, by)| Op::Inc { metric, by }),
+        (0u8..4, 0u64..u64::MAX).prop_map(|(metric, value)| Op::Observe { metric, value }),
+    ]
+}
+
+const NAMES: [&str; 4] = ["a_total", "b_total", "c_total", "d_total"];
+const HISTS: [&str; 4] = ["a_ns", "b_ns", "c_ns", "d_ns"];
+
+proptest! {
+    /// Split an op sequence across N shard registries, merge the
+    /// snapshots in order, and compare against one registry that saw
+    /// everything: totals must match exactly.
+    #[test]
+    fn merge_loses_nothing(
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+        shards in 1usize..5,
+    ) {
+        let reference = Registry::new();
+        let shard_regs: Vec<Registry> = (0..shards).map(|_| Registry::new()).collect();
+
+        for (i, op) in ops.iter().enumerate() {
+            let shard = &shard_regs[i % shards];
+            match op {
+                Op::Inc { metric, by } => {
+                    let name = NAMES[*metric as usize];
+                    shard.counter(name).add(*by as u64);
+                    reference.counter(name).add(*by as u64);
+                }
+                Op::Observe { metric, value } => {
+                    let name = HISTS[*metric as usize];
+                    shard.histogram(name).record(*value);
+                    reference.histogram(name).record(*value);
+                }
+            }
+        }
+
+        let mut merged = Snapshot::default();
+        for shard in &shard_regs {
+            merged.merge(&shard.snapshot());
+        }
+        let want = reference.snapshot();
+
+        for name in NAMES {
+            prop_assert_eq!(merged.counter(name, &[]), want.counter(name, &[]));
+        }
+        for name in HISTS {
+            let m = merged.histogram(name, &[]);
+            let w = want.histogram(name, &[]);
+            match (m, w) {
+                (None, None) => {}
+                (Some(m), Some(w)) => {
+                    prop_assert_eq!(m.count(), w.count(), "{}: observation lost", name);
+                    prop_assert_eq!(&m.buckets, &w.buckets, "{}: bucket drift", name);
+                    prop_assert_eq!(m.sum, w.sum, "{}: sum drift", name);
+                }
+                _ => prop_assert!(false, "{}: histogram present on one side only", name),
+            }
+        }
+    }
+
+    /// Merging is order-insensitive for counters and histograms.
+    #[test]
+    fn merge_commutes(
+        ops in proptest::collection::vec(op_strategy(), 0..100),
+    ) {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        for (i, op) in ops.iter().enumerate() {
+            let target = if i % 2 == 0 { &r1 } else { &r2 };
+            match op {
+                Op::Inc { metric, by } => {
+                    target.counter(NAMES[*metric as usize]).add(*by as u64)
+                }
+                Op::Observe { metric, value } => {
+                    target.histogram(HISTS[*metric as usize]).record(*value)
+                }
+            }
+        }
+        let (s1, s2) = (r1.snapshot(), r2.snapshot());
+        let mut ab = s1.clone();
+        ab.merge(&s2);
+        let mut ba = s2.clone();
+        ba.merge(&s1);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Whatever ends up in a registry renders as a valid exposition
+    /// (when non-empty) that the bundled validator accepts.
+    #[test]
+    fn render_always_validates(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let r = Registry::new();
+        for op in &ops {
+            match op {
+                Op::Inc { metric, by } => r.counter(NAMES[*metric as usize]).add(*by as u64),
+                Op::Observe { metric, value } => {
+                    r.histogram(HISTS[*metric as usize]).record(*value)
+                }
+            }
+        }
+        let text = r.render_prometheus();
+        prop_assert!(obs::validate_exposition(&text).is_ok(), "invalid: {}", text);
+    }
+}

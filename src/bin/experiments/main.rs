@@ -58,11 +58,20 @@ fn main() {
             None => usage(&format!("unknown experiment {id:?}")),
         }
     }
-    // Persist the combined output for EXPERIMENTS.md refreshes.
+    // Persist the combined output for EXPERIMENTS.md refreshes. It lands
+    // under target/ (with the metrics artifacts), not the repo root, so a
+    // stale copy can never be committed.
     if ids.len() > 1 {
-        if let Ok(mut f) = std::fs::File::create("experiments_output.txt") {
-            let _ = f.write_all(out.as_bytes());
-            eprintln!("[experiments] combined output written to experiments_output.txt");
+        let dir = std::path::Path::new("target/experiments");
+        let path = dir.join("experiments_output.txt");
+        if std::fs::create_dir_all(dir).is_ok() {
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = f.write_all(out.as_bytes());
+                eprintln!(
+                    "[experiments] combined output written to {}",
+                    path.display()
+                );
+            }
         }
     }
 }

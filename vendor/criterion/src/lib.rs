@@ -12,9 +12,15 @@
 //! Measurement is deliberately simple: each benchmark is warmed up
 //! briefly, then timed over `sample_size` samples whose per-iteration
 //! medians are reported along with throughput when configured. There is
-//! no statistical regression analysis, plotting, or baseline storage —
-//! this harness exists so `cargo bench` runs offline and gives
-//! comparable relative numbers on one machine.
+//! no statistical regression analysis or plotting — this harness exists
+//! so `cargo bench` runs offline and gives comparable relative numbers
+//! on one machine.
+//!
+//! One extension over the upstream API: when the `BENCH_JSON`
+//! environment variable names a file, every benchmark appends one
+//! NDJSON record to it (`{"group":...,"name":...,"median_ns":...}`,
+//! see `DESIGN.md` in the workspace root for the full schema). That is
+//! how the workspace's `BENCH_baseline.json` is produced.
 
 #![forbid(unsafe_code)]
 
@@ -65,6 +71,7 @@ impl Criterion {
         let sample_size = self.sample_size;
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size,
             throughput: None,
         }
@@ -73,7 +80,7 @@ impl Criterion {
     /// Run a standalone benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
         let sample_size = self.sample_size;
-        run_benchmark(name, sample_size, None, f);
+        run_benchmark(None, name, sample_size, None, f);
         self
     }
 }
@@ -81,6 +88,7 @@ impl Criterion {
 /// A set of benchmarks sharing sample-size and throughput settings.
 pub struct BenchmarkGroup<'c> {
     _criterion: &'c mut Criterion,
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -100,7 +108,13 @@ impl BenchmarkGroup<'_> {
 
     /// Time one benchmark function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_benchmark(name, self.sample_size, self.throughput, f);
+        run_benchmark(
+            Some(self.name.as_str()),
+            name,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -142,6 +156,7 @@ impl Bencher {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
     name: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
@@ -189,6 +204,73 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         fmt_time(lo),
         fmt_time(hi)
     );
+    emit_json(group, name, median, lo, hi, iters, sample_size, throughput);
+}
+
+/// Append one NDJSON record for this benchmark to the file named by the
+/// `BENCH_JSON` environment variable (no-op when unset or unwritable —
+/// benches must never fail on a reporting path).
+#[allow(clippy::too_many_arguments)]
+fn emit_json(
+    group: Option<&str>,
+    name: &str,
+    median: f64,
+    lo: f64,
+    hi: f64,
+    iters: u64,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+) {
+    let path = match std::env::var("BENCH_JSON") {
+        Ok(p) if !p.is_empty() => p,
+        _ => return,
+    };
+    let group_json = match group {
+        Some(g) => json_str(g),
+        None => "null".to_string(),
+    };
+    let throughput_json = match throughput {
+        Some(Throughput::Bytes(n)) => format!("{{\"bytes\":{n}}}"),
+        Some(Throughput::Elements(n)) => format!("{{\"elements\":{n}}}"),
+        None => "null".to_string(),
+    };
+    let line = format!(
+        "{{\"group\":{group_json},\"name\":{},\"median_ns\":{:.1},\"low_ns\":{:.1},\
+         \"high_ns\":{:.1},\"iters_per_sample\":{iters},\"samples\":{sample_size},\
+         \"throughput\":{throughput_json}}}",
+        json_str(name),
+        median * 1e9,
+        lo * 1e9,
+        hi * 1e9,
+    );
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Minimal JSON string escaping (names are code-controlled ASCII, but
+/// stay correct regardless).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -283,6 +365,13 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]
