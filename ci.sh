@@ -13,6 +13,14 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Parallel == sequential must hold at the thread counts CI machines
+# actually have, beyond the suites' built-in {1, 2, 8} grid.
+for t in 1 4; do
+  echo "==> parallel equivalence at ANNOYED_THREADS=$t"
+  ANNOYED_THREADS=$t cargo test -q -p netsim --test parallel_equivalence
+  ANNOYED_THREADS=$t cargo test -q -p adscope --test parallel_equivalence
+done
+
 echo "==> experiments metrics --scale small (exposition gate)"
 # Capture, then grep: `... | grep -q` would close the pipe mid-print and
 # kill the binary with SIGPIPE before it writes the artifacts.

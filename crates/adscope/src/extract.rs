@@ -7,8 +7,10 @@
 //! page-metadata reconstruction.
 
 use crate::degrade::DegradationReport;
+use crate::intern::Interner;
 use http_model::{HttpTransaction, Url};
 use netsim::record::Trace;
+use std::sync::Arc;
 
 /// One extracted HTTP log entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,16 +27,19 @@ pub struct WebObject {
     pub url: Url,
     /// Parsed Referer URL, when present and parseable.
     pub referer: Option<Url>,
-    /// Raw Content-Type header.
-    pub content_type: Option<String>,
+    /// Raw Content-Type header, interned: requests overwhelmingly repeat
+    /// a few MIME types, so each distinct value is allocated once per
+    /// trace and shared from then on.
+    pub content_type: Option<Arc<str>>,
     /// Content-Length (0 when missing).
     pub bytes: u64,
     /// HTTP status.
     pub status: u16,
     /// Location header of 3xx responses.
     pub location: Option<Url>,
-    /// User-Agent string.
-    pub user_agent: Option<String>,
+    /// User-Agent string, interned like `content_type` (one allocation
+    /// per distinct device/browser string).
+    pub user_agent: Option<Arc<str>>,
     /// TCP handshake (ms) — the RTT proxy.
     pub tcp_handshake_ms: f64,
     /// HTTP handshake (ms).
@@ -63,8 +68,9 @@ pub fn extract(trace: &Trace) -> (Vec<WebObject>, usize) {
 pub fn extract_with_report(trace: &Trace) -> (Vec<WebObject>, DegradationReport) {
     let mut out = Vec::with_capacity(trace.records.len());
     let mut report = DegradationReport::default();
+    let mut interner = Interner::new();
     for (idx, tx) in trace.http_transactions().enumerate() {
-        match extract_one(idx, tx, &mut report) {
+        match extract_one(idx, tx, &mut report, &mut interner) {
             Some(o) => out.push(o),
             None => report.unparseable_urls += 1,
         }
@@ -76,6 +82,7 @@ fn extract_one(
     idx: usize,
     tx: &HttpTransaction,
     report: &mut DegradationReport,
+    interner: &mut Interner,
 ) -> Option<WebObject> {
     let url = tx.url()?;
     let referer = tx.referer_url();
@@ -103,11 +110,11 @@ fn extract_one(
         server_ip: tx.server_ip,
         url,
         referer,
-        content_type: tx.response.content_type.clone(),
+        content_type: interner.intern_opt(tx.response.content_type.as_deref()),
         bytes: tx.response.content_length.unwrap_or(0),
         status: tx.response.status,
         location,
-        user_agent: tx.request.user_agent.clone(),
+        user_agent: interner.intern_opt(tx.request.user_agent.as_deref()),
         tcp_handshake_ms: tx.tcp_handshake_ms,
         http_handshake_ms: tx.http_handshake_ms,
     })

@@ -33,12 +33,15 @@ pub mod content;
 pub mod degrade;
 pub mod extract;
 pub mod infer;
+pub mod intern;
 pub mod normalize;
 pub mod pipeline;
 pub mod refmap;
+pub mod shard;
 pub mod users;
 
 pub use classify::{AdLabel, Attribution, ListKind, PassiveClassifier};
 pub use degrade::DegradationReport;
 pub use pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
+pub use shard::{classify_trace_sharded, classify_trace_sharded_in};
 pub use users::{UserAggregate, UserKey};

@@ -47,12 +47,13 @@ pub struct ClassifiedRequest {
     pub page: Option<Url>,
     /// Inferred content category.
     pub category: ContentCategory,
-    /// Raw Content-Type header (for Table 4, which reports raw MIME types).
-    pub content_type: Option<String>,
+    /// Raw Content-Type header (for Table 4, which reports raw MIME
+    /// types); interned at extraction, so this is a shared handle.
+    pub content_type: Option<std::sync::Arc<str>>,
     /// Response body bytes.
     pub bytes: u64,
-    /// User-Agent string.
-    pub user_agent: Option<String>,
+    /// User-Agent string; interned at extraction.
+    pub user_agent: Option<std::sync::Arc<str>>,
     /// TCP handshake (ms).
     pub tcp_handshake_ms: f64,
     /// HTTP handshake (ms).

@@ -249,7 +249,7 @@ mod tests {
             server_ip: 2,
             url: Url::parse(url).unwrap(),
             referer: referer.map(|r| Url::parse(r).unwrap()),
-            content_type: ct.map(str::to_string),
+            content_type: ct.map(std::sync::Arc::from),
             bytes: 100,
             status: if location.is_some() { 302 } else { 200 },
             location: location.map(|l| Url::parse(l).unwrap()),

@@ -86,7 +86,7 @@ pub fn aggregate_users(trace: &ClassifiedTrace) -> Vec<UserAggregate> {
     for r in &trace.requests {
         let key = UserKey {
             ip: r.client_ip,
-            user_agent: r.user_agent.clone().unwrap_or_default(),
+            user_agent: r.user_agent.as_deref().unwrap_or_default().to_owned(),
         };
         let agg = map.entry(key.clone()).or_insert_with(|| {
             let ua = UserAgent {

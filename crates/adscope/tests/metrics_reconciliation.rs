@@ -113,6 +113,49 @@ fn degradation_report_reconciles_with_exposition() {
     );
 }
 
+/// The bijection must also hold after the sharded pipeline's merge: the
+/// per-shard degradation partials bridge into exactly the same labeled
+/// samples with the same totals as the sequential path.
+#[test]
+fn degradation_report_reconciles_after_sharded_merge() {
+    use adscope::shard::classify_trace_sharded_in;
+
+    let trace = degraded_trace();
+    let classifier = PassiveClassifier::new(vec![FilterList::parse("easylist", "/banner\n")]);
+    for threads in [1usize, 2, 4, 8] {
+        let registry = obs::Registry::new();
+        let classified = classify_trace_sharded_in(
+            &trace,
+            &classifier,
+            PipelineOptions::default(),
+            threads,
+            &registry,
+        );
+        let report = &classified.degradation;
+        assert!(report.total() > 0, "fixture must actually degrade");
+
+        let snap = registry.snapshot();
+        for (reason, count) in report.counts() {
+            assert_eq!(
+                snap.counter("adscope_degradation_total", &[("reason", reason)]),
+                count as u64,
+                "threads={threads}: reason {reason:?} out of sync with the merged report"
+            );
+        }
+        let labeled = snap
+            .samples
+            .iter()
+            .filter(|(k, _)| k.name == "adscope_degradation_total")
+            .count();
+        assert_eq!(labeled, report.counts().len(), "threads={threads}");
+        assert_eq!(
+            snap.counter_sum("adscope_degradation_total"),
+            report.total() as u64,
+            "threads={threads}"
+        );
+    }
+}
+
 #[test]
 fn repeated_runs_accumulate_in_the_same_registry() {
     let trace = degraded_trace();

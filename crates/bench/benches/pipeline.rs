@@ -2,6 +2,7 @@
 //! Figure-1 stage: extraction, page reconstruction, classification.
 
 use adscope::pipeline::{classify_trace, extract_objects, PipelineOptions};
+use adscope::shard::classify_trace_sharded;
 use bench::{bench_classifier, bench_ecosystem, bench_trace};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -33,6 +34,22 @@ fn pipeline(c: &mut Criterion) {
     group.bench_function("users_aggregation", |b| {
         let classified = classify_trace(&trace, &classifier, PipelineOptions::default());
         b.iter(|| black_box(adscope::users::aggregate_users(black_box(&classified))))
+    });
+
+    // The sharded (multi-core) pipeline at this machine's parallelism;
+    // identical output to `full_pipeline` by construction, so the delta
+    // is pure scheduling + merge overhead (1 core) or speedup (many).
+    let threads = parallel::available_parallelism();
+    group.threads(threads);
+    group.bench_function("full_pipeline_sharded", |b| {
+        b.iter(|| {
+            black_box(classify_trace_sharded(
+                black_box(&trace),
+                &classifier,
+                PipelineOptions::default(),
+                threads,
+            ))
+        })
     });
     group.finish();
 }

@@ -3,6 +3,7 @@
 use bench::{bench_ecosystem, bench_trace};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use netsim::codec::{read_trace, read_trace_lossy, write_trace};
+use netsim::parallel::read_trace_parallel;
 use std::hint::black_box;
 
 fn trace_io(c: &mut Criterion) {
@@ -33,6 +34,19 @@ fn trace_io(c: &mut Criterion) {
     group.bench_function("read_lossy_clean", |b| {
         b.iter(|| black_box(read_trace_lossy(black_box(buf.as_slice())).expect("read")))
     });
+
+    // Chunked multi-core decode at fixed thread counts. Speedup over
+    // `read` only shows on a machine with that many cores, so the
+    // BENCH_JSON records carry the thread count for cross-machine
+    // comparison.
+    for threads in [2usize, 4, 8] {
+        group.threads(threads);
+        group.bench_function(&format!("read_parallel{threads}"), |b| {
+            b.iter(|| {
+                black_box(read_trace_parallel(black_box(&buf), threads).expect("parallel read"))
+            })
+        });
+    }
     group.finish();
 }
 

@@ -173,51 +173,55 @@ pub fn write_trace<W: Write>(trace: &Trace, sink: W) -> Result<(), CodecError> {
 // Decoding
 // ---------------------------------------------------------------------------
 
-fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+fn field<'v, 'a>(v: &'v Value<'a>, key: &str) -> Result<&'v Value<'a>, String> {
     v.get(key).ok_or_else(|| format!("missing field `{key}`"))
 }
 
-fn field_str(v: &Value, key: &str) -> Result<String, String> {
+/// The one place a string field is copied out of the borrowed parse tree
+/// into the owned record — the parser itself no longer allocates for
+/// escape-free strings, so decode does exactly one allocation per kept
+/// string field.
+fn field_str(v: &Value<'_>, key: &str) -> Result<String, String> {
     field(v, key)?
         .as_str()
         .map(str::to_string)
         .ok_or_else(|| format!("field `{key}` must be a string"))
 }
 
-fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+fn field_f64(v: &Value<'_>, key: &str) -> Result<f64, String> {
     field(v, key)?
         .as_f64()
         .ok_or_else(|| format!("field `{key}` must be a number"))
 }
 
-fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+fn field_u64(v: &Value<'_>, key: &str) -> Result<u64, String> {
     field(v, key)?
         .as_u64()
         .ok_or_else(|| format!("field `{key}` must be an unsigned integer"))
 }
 
-fn field_u32(v: &Value, key: &str) -> Result<u32, String> {
+fn field_u32(v: &Value<'_>, key: &str) -> Result<u32, String> {
     field(v, key)?
         .as_u32()
         .ok_or_else(|| format!("field `{key}` must be a u32"))
 }
 
-fn field_u16(v: &Value, key: &str) -> Result<u16, String> {
+fn field_u16(v: &Value<'_>, key: &str) -> Result<u16, String> {
     field(v, key)?
         .as_u16()
         .ok_or_else(|| format!("field `{key}` must be a u16"))
 }
 
 /// Optional string: absent or `null` → `None`; any non-string value errors.
-fn field_opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+fn field_opt_str(v: &Value<'_>, key: &str) -> Result<Option<String>, String> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(None),
-        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(Value::Str(s)) => Ok(Some(s.as_ref().to_owned())),
         Some(_) => Err(format!("field `{key}` must be a string or null")),
     }
 }
 
-fn field_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+fn field_opt_u64(v: &Value<'_>, key: &str) -> Result<Option<u64>, String> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(None),
         Some(other) => other
@@ -227,7 +231,7 @@ fn field_opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
-fn decode_meta(v: &Value) -> Result<TraceMeta, String> {
+fn decode_meta(v: &Value<'_>) -> Result<TraceMeta, String> {
     Ok(TraceMeta {
         name: field_str(v, "name")?,
         duration_secs: field_f64(v, "duration_secs")?,
@@ -237,7 +241,7 @@ fn decode_meta(v: &Value) -> Result<TraceMeta, String> {
     })
 }
 
-fn decode_method(v: &Value, key: &str) -> Result<Method, String> {
+fn decode_method(v: &Value<'_>, key: &str) -> Result<Method, String> {
     match field(v, key)?.as_str() {
         Some("Get") => Ok(Method::Get),
         Some("Post") => Ok(Method::Post),
@@ -246,7 +250,7 @@ fn decode_method(v: &Value, key: &str) -> Result<Method, String> {
     }
 }
 
-fn decode_http(v: &Value) -> Result<HttpTransaction, String> {
+fn decode_http(v: &Value<'_>) -> Result<HttpTransaction, String> {
     let request = field(v, "request")?;
     let response = field(v, "response")?;
     Ok(HttpTransaction {
@@ -272,7 +276,7 @@ fn decode_http(v: &Value) -> Result<HttpTransaction, String> {
     })
 }
 
-fn decode_tls(v: &Value) -> Result<crate::record::TlsConnection, String> {
+fn decode_tls(v: &Value<'_>) -> Result<crate::record::TlsConnection, String> {
     Ok(crate::record::TlsConnection {
         ts: field_f64(v, "ts")?,
         client_ip: field_u32(v, "client_ip")?,
@@ -282,9 +286,9 @@ fn decode_tls(v: &Value) -> Result<crate::record::TlsConnection, String> {
     })
 }
 
-fn decode_record(v: &Value) -> Result<TraceRecord, String> {
+pub(crate) fn decode_record(v: &Value<'_>) -> Result<TraceRecord, String> {
     match v {
-        Value::Object(fields) if fields.len() == 1 => match fields[0].0.as_str() {
+        Value::Object(fields) if fields.len() == 1 => match fields[0].0.as_ref() {
             "Http" => Ok(TraceRecord::Http(decode_http(&fields[0].1)?)),
             "Https" => Ok(TraceRecord::Https(decode_tls(&fields[0].1)?)),
             other => Err(format!("unknown record variant {other:?}")),
@@ -293,7 +297,7 @@ fn decode_record(v: &Value) -> Result<TraceRecord, String> {
     }
 }
 
-fn decode_header(line: &str) -> Result<TraceMeta, CodecError> {
+pub(crate) fn decode_header(line: &str) -> Result<TraceMeta, CodecError> {
     let v = json::parse(line.trim()).map_err(CodecError::BadHeader)?;
     let format = v
         .get("format")
@@ -331,18 +335,28 @@ pub fn read_trace<R: Read>(source: R) -> Result<Trace, CodecError> {
     bytes += first.len() as u64;
     let meta = decode_header(&first)?;
     let mut records = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        bytes += line.len() as u64 + 1;
-        if line.trim().is_empty() {
+    // One line buffer for the whole stream: `read_line` appends, so
+    // clearing between iterations reuses the allocation instead of the
+    // one-String-per-line churn of `BufRead::lines()`.
+    let mut line = String::with_capacity(512);
+    let mut lineno = 1usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        bytes += line.len() as u64;
+        let text = line.trim();
+        if text.is_empty() {
             continue;
         }
-        let value = json::parse(line.trim()).map_err(|e| CodecError::BadRecord {
-            line: i + 2,
+        let value = json::parse(text).map_err(|e| CodecError::BadRecord {
+            line: lineno,
             error: e,
         })?;
         let rec = decode_record(&value).map_err(|e| CodecError::BadRecord {
-            line: i + 2,
+            line: lineno,
             error: e,
         })?;
         records.push(rec);
@@ -406,6 +420,24 @@ impl CodecStats {
     pub fn lines_seen(&self) -> usize {
         self.records_read + self.total_skipped()
     }
+
+    /// Fold another reader's accounting into this one. Counters add;
+    /// `header_recovered` ORs (the header exists once per stream, so at
+    /// most one of the merged readers can have recovered it).
+    ///
+    /// This is what makes chunked parallel decode exact: each chunk
+    /// worker keeps its own `CodecStats`, and the in-order merge of those
+    /// equals the sequential reader's stats line for line.
+    pub fn merge(&mut self, other: &CodecStats) {
+        self.records_read += other.records_read;
+        self.blank_lines += other.blank_lines;
+        self.skipped_bad_json += other.skipped_bad_json;
+        self.skipped_bad_schema += other.skipped_bad_schema;
+        self.skipped_non_utf8 += other.skipped_non_utf8;
+        self.skipped_oversize += other.skipped_oversize;
+        self.io_errors += other.io_errors;
+        self.header_recovered |= other.header_recovered;
+    }
 }
 
 impl std::fmt::Display for CodecStats {
@@ -465,20 +497,69 @@ fn read_line_capped<R: BufRead>(
     }
 }
 
+/// What the lossy path decided about one raw line. One function makes
+/// this call for both the streaming [`TraceReader`] and the chunked
+/// parallel decoder, so identical bytes always produce the identical
+/// keep/skip verdict — the foundation of the parallel-equals-sequential
+/// guarantee.
+//
+// The Record variant dominates the enum's size, but every value is
+// consumed on the spot (moved into the output Vec or dropped), so
+// boxing it would trade one stack move per line for one heap
+// allocation per record on the hottest path in the codec.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum LossyLine {
+    /// Whitespace-only line; tolerated, tallied separately.
+    Blank,
+    /// A decodable record.
+    Record(TraceRecord),
+    /// Not valid JSON.
+    BadJson,
+    /// Valid JSON, wrong shape.
+    BadSchema,
+    /// Invalid UTF-8.
+    NonUtf8,
+    /// Longer than [`MAX_LINE_BYTES`].
+    Oversize,
+}
+
+/// Decide what to do with one line (newline excluded). `overflow` marks a
+/// line whose tail was truncated at [`MAX_LINE_BYTES`] by the capped
+/// streaming read, or measured over the cap by the chunked decoder.
+pub(crate) fn decode_line_lossy(buf: &[u8], overflow: bool) -> LossyLine {
+    if overflow {
+        return LossyLine::Oversize;
+    }
+    let Ok(text) = std::str::from_utf8(buf) else {
+        return LossyLine::NonUtf8;
+    };
+    let text = text.trim();
+    if text.is_empty() {
+        return LossyLine::Blank;
+    }
+    let Ok(value) = json::parse(text) else {
+        return LossyLine::BadJson;
+    };
+    match decode_record(&value) {
+        Ok(rec) => LossyLine::Record(rec),
+        Err(_) => LossyLine::BadSchema,
+    }
+}
+
 /// Metric handles for a lossy reader, bound once at construction so the
 /// per-record hot path is a relaxed atomic add, never a registry lookup.
 #[derive(Debug, Clone)]
-struct ReaderMetrics {
-    records: obs::Counter,
-    bytes: obs::Counter,
-    resync_bad_json: obs::Counter,
-    resync_bad_schema: obs::Counter,
-    resync_non_utf8: obs::Counter,
-    resync_oversize: obs::Counter,
+pub(crate) struct ReaderMetrics {
+    pub(crate) records: obs::Counter,
+    pub(crate) bytes: obs::Counter,
+    pub(crate) resync_bad_json: obs::Counter,
+    pub(crate) resync_bad_schema: obs::Counter,
+    pub(crate) resync_non_utf8: obs::Counter,
+    pub(crate) resync_oversize: obs::Counter,
 }
 
 impl ReaderMetrics {
-    fn bind(registry: &obs::Registry) -> ReaderMetrics {
+    pub(crate) fn bind(registry: &obs::Registry) -> ReaderMetrics {
         let resync = |reason| registry.counter_with("netsim_resync_total", &[("reason", reason)]);
         ReaderMetrics {
             records: registry.counter("netsim_lossy_records_read_total"),
@@ -584,36 +665,29 @@ impl<R: Read> TraceReader<R> {
                     return None;
                 }
             };
-            if overflow {
-                self.stats.skipped_oversize += 1;
-                self.metrics.resync_oversize.inc();
-                continue;
-            }
-            let Ok(text) = std::str::from_utf8(&self.buf) else {
-                self.stats.skipped_non_utf8 += 1;
-                self.metrics.resync_non_utf8.inc();
-                continue;
-            };
-            let text = text.trim();
-            if text.is_empty() {
-                self.stats.blank_lines += 1;
-                continue;
-            }
-            let Ok(value) = json::parse(text) else {
-                self.stats.skipped_bad_json += 1;
-                self.metrics.resync_bad_json.inc();
-                continue;
-            };
-            match decode_record(&value) {
-                Ok(rec) => {
+            match decode_line_lossy(&self.buf, overflow) {
+                LossyLine::Record(rec) => {
                     self.stats.records_read += 1;
                     self.metrics.records.inc();
                     self.metrics.bytes.add(self.buf.len() as u64 + 1);
                     return Some(rec);
                 }
-                Err(_) => {
+                LossyLine::Blank => self.stats.blank_lines += 1,
+                LossyLine::BadJson => {
+                    self.stats.skipped_bad_json += 1;
+                    self.metrics.resync_bad_json.inc();
+                }
+                LossyLine::BadSchema => {
                     self.stats.skipped_bad_schema += 1;
                     self.metrics.resync_bad_schema.inc();
+                }
+                LossyLine::NonUtf8 => {
+                    self.stats.skipped_non_utf8 += 1;
+                    self.metrics.resync_non_utf8.inc();
+                }
+                LossyLine::Oversize => {
+                    self.stats.skipped_oversize += 1;
+                    self.metrics.resync_oversize.inc();
                 }
             }
         }
@@ -628,7 +702,7 @@ impl<R: Read> Iterator for TraceReader<R> {
     }
 }
 
-fn recovered_meta() -> TraceMeta {
+pub(crate) fn recovered_meta() -> TraceMeta {
     TraceMeta {
         name: "<recovered>".to_string(),
         duration_secs: 0.0,

@@ -6,16 +6,26 @@
 //! `Err` on any malformed input (including a recursion-depth cap so
 //! adversarial nesting cannot overflow the stack), which is exactly what
 //! the lossy trace reader needs to resync after corrupted lines.
+//!
+//! The parser is also **allocation-lean**: [`Value`] borrows from the
+//! input line. Strings without escape sequences — every key and almost
+//! every value the codec ever writes — are returned as
+//! [`Cow::Borrowed`] slices of the input, so parsing a record line
+//! allocates only the two `Vec`s of the object tree, not one `String`
+//! per field. Only strings that actually contain `\` escapes are
+//! unescaped into owned buffers. This is the decode hot path: the trace
+//! reader parses one line per record at ISP-trace volumes.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// Maximum nesting depth the parser accepts. Trace records nest three
 /// levels deep; anything deeper than this is garbage or an attack.
 const MAX_DEPTH: u32 = 64;
 
-/// A parsed JSON value.
+/// A parsed JSON value, borrowing from the input where possible.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Value {
+pub enum Value<'a> {
     /// `null`
     Null,
     /// `true` / `false`
@@ -24,19 +34,23 @@ pub enum Value {
     Int(i128),
     /// A number with fraction or exponent.
     Float(f64),
-    /// A string.
-    Str(String),
+    /// A string; borrowed from the input unless it contained escapes.
+    Str(Cow<'a, str>),
     /// An array.
-    Array(Vec<Value>),
+    Array(Vec<Value<'a>>),
     /// An object; insertion-ordered, duplicate keys keep the last value.
-    Object(Vec<(String, Value)>),
+    Object(Vec<(Cow<'a, str>, Value<'a>)>),
 }
 
-impl Value {
+impl<'a> Value<'a> {
     /// Look up a key in an object.
-    pub fn get(&self, key: &str) -> Option<&Value> {
+    pub fn get(&self, key: &str) -> Option<&Value<'a>> {
         match self {
-            Value::Object(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            Value::Object(fields) => fields
+                .iter()
+                .rev()
+                .find(|(k, _)| k.as_ref() == key)
+                .map(|(_, v)| v),
             _ => None,
         }
     }
@@ -44,7 +58,7 @@ impl Value {
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -78,8 +92,10 @@ impl Value {
 }
 
 /// Parse one complete JSON value; trailing non-whitespace is an error.
-pub fn parse(input: &str) -> Result<Value, String> {
+/// The returned [`Value`] borrows from `input`.
+pub fn parse(input: &str) -> Result<Value<'_>, String> {
     let mut p = Parser {
+        input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -93,11 +109,12 @@ pub fn parse(input: &str) -> Result<Value, String> {
 }
 
 struct Parser<'a> {
+    input: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
 
-impl Parser<'_> {
+impl<'a> Parser<'a> {
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -121,7 +138,7 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self, depth: u32) -> Result<Value, String> {
+    fn value(&mut self, depth: u32) -> Result<Value<'a>, String> {
         if depth > MAX_DEPTH {
             return Err("nesting too deep".to_string());
         }
@@ -138,7 +155,7 @@ impl Parser<'_> {
         }
     }
 
-    fn literal(&mut self, lit: &[u8], v: Value) -> Result<Value, String> {
+    fn literal(&mut self, lit: &[u8], v: Value<'a>) -> Result<Value<'a>, String> {
         if self.bytes[self.pos..].starts_with(lit) {
             self.pos += lit.len();
             Ok(v)
@@ -147,7 +164,7 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self, depth: u32) -> Result<Value, String> {
+    fn object(&mut self, depth: u32) -> Result<Value<'a>, String> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -175,7 +192,7 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self, depth: u32) -> Result<Value, String> {
+    fn array(&mut self, depth: u32) -> Result<Value<'a>, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -198,15 +215,38 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    /// Parse a string literal. Fast path: scan to the closing quote; if no
+    /// escape and no raw control byte was seen, borrow the input slice
+    /// directly (the input is `&str`, so any byte-aligned slice between
+    /// ASCII quotes is valid UTF-8). Slow path: unescape into an owned
+    /// buffer, starting from whatever clean prefix the scan covered.
+    fn string(&mut self) -> Result<Cow<'a, str>, String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    let s = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                Some(b'\\') => break,
+                Some(&b) if b < 0x20 => {
+                    return Err(format!("raw control byte {b:#x} in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Escape found at self.pos: keep the clean prefix, unescape the rest.
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.input[start..self.pos]);
         loop {
             match self.peek() {
                 None => return Err("unterminated string".to_string()),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(Cow::Owned(out));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -254,9 +294,8 @@ impl Parser<'_> {
                 Some(_) => {
                     // Consume one UTF-8 scalar. The input is a &str, so the
                     // bytes are valid UTF-8 by construction.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
-                    let c = s.chars().next().ok_or_else(|| "eof".to_string())?;
+                    let rest = &self.input[self.pos..];
+                    let c = rest.chars().next().ok_or_else(|| "eof".to_string())?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -276,7 +315,7 @@ impl Parser<'_> {
         Ok(v)
     }
 
-    fn number(&mut self) -> Result<Value, String> {
+    fn number(&mut self) -> Result<Value<'a>, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -301,8 +340,7 @@ impl Parser<'_> {
         }
         // The grammar above is permissive (e.g. `1.2.3` scans); the parse
         // below is the actual validity check.
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "bad number".to_string())?;
+        let text = &self.input[start..self.pos];
         if is_float {
             let f: f64 = text.parse().map_err(|_| format!("bad number {text:?}"))?;
             if !f.is_finite() {
@@ -407,6 +445,8 @@ mod tests {
             "1e999",
             "\"\\u12\"",
             "\"\\ud800\"",
+            "\"trailing escape\\",
+            "\"\u{1}\"",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -416,6 +456,37 @@ mod tests {
     fn rejects_deep_nesting_without_overflow() {
         let deep = "[".repeat(10_000) + &"]".repeat(10_000);
         assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn escape_free_strings_borrow_from_input() {
+        let input = r#"{"host":"ads.example","uri":"/x?q=1"}"#;
+        let v = parse(input).unwrap();
+        match v.get("host") {
+            Some(Value::Str(Cow::Borrowed(s))) => assert_eq!(*s, "ads.example"),
+            other => panic!("expected borrowed string, got {other:?}"),
+        }
+        // Keys borrow too.
+        match &v {
+            Value::Object(fields) => {
+                assert!(matches!(fields[0].0, Cow::Borrowed("host")));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escaped_strings_are_owned_and_correct() {
+        let v = parse(r#""pre\"fix\n🦀 suffix""#).unwrap();
+        match v {
+            Value::Str(Cow::Owned(s)) => assert_eq!(s, "pre\"fix\n🦀 suffix"),
+            other => panic!("expected owned string, got {other:?}"),
+        }
+        // Non-ASCII without escapes still borrows.
+        assert!(matches!(
+            parse("\"héllo 🦀\"").unwrap(),
+            Value::Str(Cow::Borrowed("héllo 🦀"))
+        ));
     }
 
     #[test]
@@ -458,9 +529,42 @@ mod tests {
     fn writer_reader_roundtrip() {
         let mut s = String::new();
         write_str(&mut s, "héllo 🦀 \t end");
-        assert_eq!(
-            parse(&s).unwrap(),
-            Value::Str("héllo 🦀 \t end".to_string())
-        );
+        assert_eq!(parse(&s).unwrap(), Value::Str("héllo 🦀 \t end".into()));
+    }
+
+    /// The borrowed fast path and the writer must agree on exactly which
+    /// strings need escaping: any string the writer emits without a `\`
+    /// must come back borrowed; any escaped one must round-trip owned.
+    #[test]
+    fn fast_path_matches_writer_escape_set() {
+        let cases = [
+            "plain",
+            "with space",
+            "slash/ok",
+            "q=1&r=2",
+            "héllo",
+            "🦀",
+            "quote\"inside",
+            "back\\slash",
+            "new\nline",
+            "tab\there",
+            "\u{8}",
+        ];
+        for original in cases {
+            let mut line = String::new();
+            write_str(&mut line, original);
+            let parsed = parse(&line).unwrap();
+            assert_eq!(parsed.as_str(), Some(original), "roundtrip {original:?}");
+            let writer_escaped = line[1..line.len() - 1].contains('\\');
+            match parsed {
+                Value::Str(Cow::Borrowed(_)) => {
+                    assert!(!writer_escaped, "{original:?} should have been owned")
+                }
+                Value::Str(Cow::Owned(_)) => {
+                    assert!(writer_escaped, "{original:?} should have borrowed")
+                }
+                other => panic!("expected string, got {other:?}"),
+            }
+        }
     }
 }

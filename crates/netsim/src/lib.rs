@@ -23,7 +23,11 @@
 //! * [`faults`] — deterministic, seeded fault injection ([`FaultInjector`])
 //!   modelling the degradations a live vantage point produces: capture
 //!   loss, truncation, garbling, missing headers, clock skew, duplicates.
-//! * [`json`] — the minimal panic-free JSON layer behind the codec.
+//! * [`json`] — the minimal panic-free JSON layer behind the codec, with
+//!   a borrowed fast path so escape-free strings never allocate.
+//! * [`parallel`] — chunked multi-core decode over the same codec:
+//!   byte-identical to the sequential readers, with per-chunk
+//!   [`codec::CodecStats`] merged exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +39,7 @@ pub mod faults;
 pub mod json;
 pub mod latency;
 pub mod nat;
+pub mod parallel;
 pub mod record;
 pub mod rtt;
 

@@ -1,0 +1,477 @@
+//! Multi-core NDJSON trace decode.
+//!
+//! NDJSON's framing makes the format embarrassingly parallel: any byte
+//! offset can be snapped forward to the next `\n` and the stream splits
+//! into self-contained chunks of whole lines. The functions here split a
+//! trace byte buffer into roughly equal chunks on line boundaries, decode
+//! the chunks concurrently on a [`parallel::Pool`], and merge the results
+//! **in input order**, so the output is byte-identical to what the
+//! sequential readers in [`crate::codec`] produce:
+//!
+//! * [`read_trace_parallel`] mirrors [`crate::codec::read_trace`]
+//!   (strict), including exact 1-based line numbers in errors — the
+//!   lowest erroring line wins, as it would sequentially.
+//! * [`read_trace_lossy_parallel`] mirrors
+//!   [`crate::codec::read_trace_lossy`]; per-chunk [`CodecStats`] merge
+//!   via [`CodecStats::merge`], which keeps the fault-accounting
+//!   invariants (one fault ↔ one skipped line) exact.
+//!
+//! Both take the input as a byte slice rather than `impl Read`: chunked
+//! decode needs random access, and at the scales where parallelism pays
+//! off the trace is an mmap-able file or an in-memory buffer anyway.
+
+use crate::codec::{
+    decode_header, decode_line_lossy, decode_record, recovered_meta, CodecError, CodecStats,
+    LossyLine, ReaderMetrics, MAX_LINE_BYTES,
+};
+use crate::json;
+use crate::record::{Trace, TraceRecord};
+use ::parallel::{split_ranges, Pool};
+
+/// Iterate the lines of `bytes` (excluding the `\n` terminators). A
+/// trailing line without a final newline is yielded too, matching
+/// `read_line`-based sequential readers.
+fn lines(bytes: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let mut pos = 0;
+    std::iter::from_fn(move || {
+        if pos >= bytes.len() {
+            return None;
+        }
+        let rest = &bytes[pos..];
+        match rest.iter().position(|&b| b == b'\n') {
+            Some(idx) => {
+                pos += idx + 1;
+                Some(&rest[..idx])
+            }
+            None => {
+                pos = bytes.len();
+                Some(rest)
+            }
+        }
+    })
+}
+
+/// Split `body` into at most `parts` chunks of whole lines, sized by
+/// bytes. Chunk boundaries are snapped forward to the next newline, so a
+/// line is never split; fewer chunks than requested come back when the
+/// data is small or a single line spans several nominal chunks.
+fn chunk_on_lines(body: &[u8], parts: usize) -> Vec<&[u8]> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    for r in split_ranges(body.len(), parts) {
+        if r.end <= start {
+            continue; // a long line swallowed this nominal chunk
+        }
+        let end = if r.end == body.len() {
+            body.len()
+        } else {
+            match body[r.end..].iter().position(|&b| b == b'\n') {
+                Some(idx) => r.end + idx + 1,
+                None => body.len(),
+            }
+        };
+        chunks.push(&body[start..end]);
+        start = end;
+    }
+    if start < body.len() {
+        chunks.push(&body[start..]);
+    }
+    chunks
+}
+
+/// Split off the header line. Returns `(header_without_newline, body)`;
+/// the body is empty when the stream has a single line.
+fn split_header(bytes: &[u8]) -> (&[u8], &[u8]) {
+    match bytes.iter().position(|&b| b == b'\n') {
+        Some(idx) => (&bytes[..idx], &bytes[idx + 1..]),
+        None => (bytes, &[]),
+    }
+}
+
+/// Strict parallel read of an in-memory trace: the parallel counterpart
+/// of [`crate::codec::read_trace`]. `threads == 0` means
+/// [`parallel::available_parallelism`]; `threads == 1` still goes through
+/// the chunking path with one chunk, which is the sequential code shape.
+///
+/// Errors are deterministic: if several chunks contain malformed lines,
+/// the error reported is the one on the lowest line number — exactly the
+/// line the sequential reader would have stopped at.
+pub fn read_trace_parallel(bytes: &[u8], threads: usize) -> Result<Trace, CodecError> {
+    let pool = Pool::new(threads);
+    let registry = obs::global();
+    let mut span = registry.span_with("netsim_codec", &[("op", "read_strict_parallel")]);
+
+    if bytes.is_empty() {
+        return Err(CodecError::BadHeader("empty stream".to_string()));
+    }
+    let (header, body) = split_header(bytes);
+    let header_text = std::str::from_utf8(header)
+        .map_err(|_| CodecError::BadHeader("header is not UTF-8".to_string()))?;
+    if header_text.trim().is_empty() {
+        return Err(CodecError::BadHeader("empty stream".to_string()));
+    }
+    let meta = decode_header(header_text)?;
+
+    let chunks = chunk_on_lines(body, pool.threads());
+    // Each worker returns its decoded records plus its line count, so
+    // absolute line numbers reconstruct exactly: the header is line 1,
+    // chunk c's first line is 2 + Σ lines(chunks[..c]).
+    type ChunkOut = Result<(Vec<TraceRecord>, usize), (usize, String)>;
+    let outs: Vec<ChunkOut> = pool.map(chunks, |_, chunk| {
+        let mut records = Vec::new();
+        let mut line_count = 0usize;
+        for line in lines(chunk) {
+            line_count += 1;
+            let text = match std::str::from_utf8(line) {
+                Ok(t) => t.trim(),
+                Err(_) => return Err((line_count, "invalid UTF-8".to_string())),
+            };
+            if text.is_empty() {
+                continue;
+            }
+            let value = json::parse(text).map_err(|e| (line_count, e))?;
+            let rec = decode_record(&value).map_err(|e| (line_count, e))?;
+            records.push(rec);
+        }
+        Ok((records, line_count))
+    });
+
+    let mut records = Vec::new();
+    let mut lines_before = 0usize;
+    for out in outs {
+        match out {
+            Ok((mut recs, line_count)) => {
+                records.append(&mut recs);
+                lines_before += line_count;
+            }
+            Err((relative_line, error)) => {
+                return Err(CodecError::BadRecord {
+                    line: 1 + lines_before + relative_line,
+                    error,
+                });
+            }
+        }
+    }
+
+    span.count("records", records.len() as u64);
+    span.count("bytes", bytes.len() as u64);
+    span.count("threads", pool.threads() as u64);
+    let elapsed = span.end();
+    registry
+        .counter("netsim_records_read_total")
+        .add(records.len() as u64);
+    registry
+        .counter("netsim_bytes_read_total")
+        .add(bytes.len() as u64);
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        registry
+            .gauge("netsim_read_throughput_rps")
+            .set(records.len() as f64 / secs);
+        registry
+            .gauge("netsim_read_throughput_bps")
+            .set(bytes.len() as f64 / secs);
+    }
+    Ok(Trace { meta, records })
+}
+
+/// Per-chunk result of a lossy parallel decode.
+struct LossyChunk {
+    records: Vec<TraceRecord>,
+    stats: CodecStats,
+    kept_bytes: u64,
+}
+
+/// Lossy parallel read: the parallel counterpart of
+/// [`crate::codec::read_trace_lossy`]. Records, metadata, and the merged
+/// [`CodecStats`] are identical to the sequential reader's for any input,
+/// clean or corrupt — each chunk worker applies the same per-line verdict
+/// ([`decode_line_lossy`]) the streaming reader uses, and per-chunk stats
+/// fold together with [`CodecStats::merge`] in input order.
+pub fn read_trace_lossy_parallel(bytes: &[u8], threads: usize) -> (Trace, CodecStats) {
+    let registry = obs::global();
+    read_trace_lossy_parallel_in(bytes, threads, registry)
+}
+
+/// Like [`read_trace_lossy_parallel`], recording metrics into `registry`.
+pub fn read_trace_lossy_parallel_in(
+    bytes: &[u8],
+    threads: usize,
+    registry: &obs::Registry,
+) -> (Trace, CodecStats) {
+    let pool = Pool::new(threads);
+    let metrics = ReaderMetrics::bind(registry);
+    let mut stats = CodecStats::default();
+
+    // Header: same recovery policy as `TraceReader::with_registry` — a
+    // missing, oversize, or undecodable header substitutes placeholder
+    // metadata and flags it, never aborts.
+    let (meta, body) = if bytes.is_empty() {
+        stats.header_recovered = true;
+        (recovered_meta(), &[][..])
+    } else {
+        let (header, body) = split_header(bytes);
+        let meta = if header.len() > MAX_LINE_BYTES {
+            stats.header_recovered = true;
+            recovered_meta()
+        } else {
+            match std::str::from_utf8(header)
+                .ok()
+                .and_then(|t| decode_header(t).ok())
+            {
+                Some(meta) => meta,
+                None => {
+                    stats.header_recovered = true;
+                    recovered_meta()
+                }
+            }
+        };
+        (meta, body)
+    };
+
+    let chunks = chunk_on_lines(body, pool.threads());
+    let outs: Vec<LossyChunk> = pool.map(chunks, |_, chunk| {
+        let mut out = LossyChunk {
+            records: Vec::new(),
+            stats: CodecStats::default(),
+            kept_bytes: 0,
+        };
+        for line in lines(chunk) {
+            match decode_line_lossy(line, line.len() > MAX_LINE_BYTES) {
+                LossyLine::Record(rec) => {
+                    out.stats.records_read += 1;
+                    out.kept_bytes += line.len() as u64 + 1;
+                    out.records.push(rec);
+                }
+                LossyLine::Blank => out.stats.blank_lines += 1,
+                LossyLine::BadJson => out.stats.skipped_bad_json += 1,
+                LossyLine::BadSchema => out.stats.skipped_bad_schema += 1,
+                LossyLine::NonUtf8 => out.stats.skipped_non_utf8 += 1,
+                LossyLine::Oversize => out.stats.skipped_oversize += 1,
+            }
+        }
+        out
+    });
+
+    let mut records = Vec::new();
+    let mut kept_bytes = 0u64;
+    for chunk in outs {
+        let LossyChunk {
+            records: mut recs,
+            stats: chunk_stats,
+            kept_bytes: chunk_bytes,
+        } = chunk;
+        records.append(&mut recs);
+        stats.merge(&chunk_stats);
+        kept_bytes += chunk_bytes;
+    }
+
+    metrics.records.add(stats.records_read as u64);
+    metrics.bytes.add(kept_bytes);
+    metrics.resync_bad_json.add(stats.skipped_bad_json as u64);
+    metrics
+        .resync_bad_schema
+        .add(stats.skipped_bad_schema as u64);
+    metrics.resync_non_utf8.add(stats.skipped_non_utf8 as u64);
+    metrics.resync_oversize.add(stats.skipped_oversize as u64);
+
+    (Trace { meta, records }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_trace, read_trace_lossy, write_trace};
+    use crate::record::{TlsConnection, TraceMeta};
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::{HttpTransaction, Method};
+
+    fn trace_with(n: usize) -> Trace {
+        Trace {
+            meta: TraceMeta {
+                name: "RBN-P".into(),
+                duration_secs: 60.0,
+                subscribers: 4,
+                start_hour: 9,
+                start_weekday: 2,
+            },
+            records: (0..n)
+                .map(|i| {
+                    if i % 5 == 4 {
+                        TraceRecord::Https(TlsConnection {
+                            ts: i as f64,
+                            client_ip: (i % 7) as u32,
+                            server_ip: 50,
+                            server_port: 443,
+                            bytes: 900 + i as u64,
+                        })
+                    } else {
+                        TraceRecord::Http(HttpTransaction {
+                            ts: i as f64,
+                            client_ip: (i % 7) as u32,
+                            server_ip: 40,
+                            server_port: 80,
+                            method: Method::Get,
+                            request: RequestHeaders {
+                                host: format!("h{}.example", i % 11),
+                                uri: format!("/p/{i}?x=\"1\""),
+                                referer: (i % 3 == 0).then(|| "http://r.example/".into()),
+                                user_agent: Some("UA/2.0".into()),
+                            },
+                            response: ResponseHeaders {
+                                status: 200,
+                                content_type: Some("text/html".into()),
+                                content_length: Some(512),
+                                location: None,
+                            },
+                            tcp_handshake_ms: 10.0,
+                            http_handshake_ms: 55.5,
+                        })
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn encode(trace: &Trace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace(trace, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn strict_parallel_matches_sequential() {
+        let trace = trace_with(200);
+        let bytes = encode(&trace);
+        let seq = read_trace(bytes.as_slice()).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = read_trace_parallel(&bytes, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn strict_parallel_reports_lowest_error_line() {
+        let trace = trace_with(50);
+        let mut text = String::from_utf8(encode(&trace)).unwrap();
+        // Corrupt two lines; the lower one must win under any thread count.
+        let mut lines: Vec<&str> = text.lines().collect();
+        let corrupt_a = "{broken";
+        let corrupt_b = "also broken";
+        lines[40] = corrupt_b;
+        lines[12] = corrupt_a;
+        text = lines.join("\n");
+        text.push('\n');
+        let seq_err = read_trace(text.as_bytes()).unwrap_err();
+        let seq_line = match seq_err {
+            CodecError::BadRecord { line, .. } => line,
+            other => panic!("expected BadRecord, got {other:?}"),
+        };
+        assert_eq!(seq_line, 13);
+        for threads in [1, 2, 8] {
+            match read_trace_parallel(text.as_bytes(), threads) {
+                Err(CodecError::BadRecord { line, .. }) => {
+                    assert_eq!(line, seq_line, "threads={threads}")
+                }
+                other => panic!("expected BadRecord, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn strict_parallel_rejects_empty_and_bad_header() {
+        assert!(matches!(
+            read_trace_parallel(b"", 4),
+            Err(CodecError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_trace_parallel(b"\xff\xfe\n", 4),
+            Err(CodecError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn lossy_parallel_matches_sequential_on_corrupt_input() {
+        let trace = trace_with(100);
+        let mut bytes = encode(&trace);
+        // Manual corruption across the buffer: truncate a line, break a
+        // schema, insert noise and non-UTF-8, and append a no-newline tail.
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let mut lines: Vec<Vec<u8>> = text.lines().map(|l| l.as_bytes().to_vec()).collect();
+        let half = lines[10].len() / 2;
+        lines[10].truncate(half);
+        lines[30] = b"{\"Http\":{\"ts\":\"oops\"}}".to_vec();
+        lines[55] = b"!!! noise".to_vec();
+        lines[70] = b"\xff\xfe bad".to_vec();
+        lines[80] = b"   ".to_vec();
+        bytes = lines.join(&b"\n"[..]);
+        bytes.extend_from_slice(b"\n{\"Https\":{\"ts\":1.0,\"client_ip\":1,\"server_ip\":2,\"server_port\":443,\"bytes\":10}}");
+
+        let (seq, seq_stats) = read_trace_lossy(bytes.as_slice()).unwrap();
+        for threads in [1, 2, 5, 8] {
+            let (par, par_stats) = read_trace_lossy_parallel(&bytes, threads);
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_stats, seq_stats, "threads={threads}");
+        }
+        assert!(seq_stats.total_skipped() >= 4);
+    }
+
+    #[test]
+    fn lossy_parallel_recovers_header() {
+        let trace = trace_with(10);
+        let mut bytes = encode(&trace);
+        let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        for b in &mut bytes[..nl] {
+            *b = b'#';
+        }
+        let (seq, seq_stats) = read_trace_lossy(bytes.as_slice()).unwrap();
+        let (par, par_stats) = read_trace_lossy_parallel(&bytes, 4);
+        assert_eq!(par, seq);
+        assert_eq!(par_stats, seq_stats);
+        assert!(par_stats.header_recovered);
+        assert_eq!(par.meta.name, "<recovered>");
+    }
+
+    #[test]
+    fn lossy_parallel_empty_stream() {
+        let (seq, seq_stats) = read_trace_lossy(std::io::empty()).unwrap();
+        let (par, par_stats) = read_trace_lossy_parallel(b"", 8);
+        assert_eq!(par, seq);
+        assert_eq!(par_stats, seq_stats);
+        assert!(par_stats.header_recovered);
+    }
+
+    #[test]
+    fn lossy_parallel_oversize_line() {
+        let trace = trace_with(3);
+        let mut bytes = encode(&trace);
+        bytes.extend(std::iter::repeat_n(b'y', MAX_LINE_BYTES + 5));
+        bytes.push(b'\n');
+        let (seq, seq_stats) = read_trace_lossy(bytes.as_slice()).unwrap();
+        for threads in [1, 2, 8] {
+            let (par, par_stats) = read_trace_lossy_parallel(&bytes, threads);
+            assert_eq!(par, seq, "threads={threads}");
+            assert_eq!(par_stats, seq_stats, "threads={threads}");
+            assert_eq!(par_stats.skipped_oversize, 1);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_body_exactly_on_line_boundaries() {
+        let trace = trace_with(64);
+        let bytes = encode(&trace);
+        let (_, body) = split_header(&bytes);
+        for parts in [1usize, 2, 3, 7, 16] {
+            let chunks = chunk_on_lines(body, parts);
+            let total: usize = chunks.iter().map(|c| c.len()).sum();
+            assert_eq!(total, body.len(), "parts={parts}");
+            assert!(chunks.len() <= parts.max(1));
+            for (i, c) in chunks.iter().enumerate() {
+                assert!(!c.is_empty());
+                if i + 1 < chunks.len() {
+                    assert_eq!(c.last(), Some(&b'\n'), "chunk {i} must end on a line");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Parallel-decode equivalence: for any input — clean, fault-injected, or
+//! arbitrary bytes — the chunked multi-core readers must produce exactly
+//! what the sequential readers produce: same records, same metadata, same
+//! [`CodecStats`], and (strict) the same error on the same line.
+//!
+//! Thread counts tested are {1, 2, 8}; set `ANNOYED_THREADS` to add an
+//! extra count (CI runs the suite at 1 and 4).
+
+use http_model::headers::{RequestHeaders, ResponseHeaders};
+use http_model::transaction::Method;
+use http_model::HttpTransaction;
+use netsim::codec::{read_trace, read_trace_lossy, write_trace, CodecError, CodecStats};
+use netsim::faults::{FaultInjector, FaultProfile};
+use netsim::parallel::{read_trace_lossy_parallel, read_trace_parallel};
+use netsim::record::{Trace, TraceMeta, TraceRecord};
+use proptest::prelude::*;
+
+/// Thread counts under test: the fixed grid plus an optional CI override.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 8];
+    if let Some(extra) = std::env::var("ANNOYED_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+fn small_trace(n: usize) -> Trace {
+    let records = (0..n)
+        .map(|i| {
+            TraceRecord::Http(HttpTransaction {
+                ts: i as f64 * 0.25,
+                client_ip: 1 + (i as u32 % 7),
+                server_ip: 50 + (i as u32 % 13),
+                server_port: 80,
+                method: Method::Get,
+                request: RequestHeaders {
+                    host: format!("h{}.example", i % 5),
+                    uri: format!("/obj/{i}?q={i}"),
+                    referer: (i % 3 == 0).then(|| "http://h0.example/".to_string()),
+                    user_agent: Some("UA".into()),
+                },
+                response: ResponseHeaders {
+                    status: if i % 11 == 0 { 302 } else { 200 },
+                    content_type: Some("image/gif".into()),
+                    content_length: Some(100 + i as u64),
+                    location: (i % 11 == 0).then(|| format!("http://h1.example/target/{i}")),
+                },
+                tcp_handshake_ms: 1.0,
+                http_handshake_ms: 2.5,
+            })
+        })
+        .collect();
+    Trace {
+        meta: TraceMeta {
+            name: "par-equiv".into(),
+            duration_secs: n as f64,
+            subscribers: 7,
+            start_hour: 12,
+            start_weekday: 2,
+        },
+        records,
+    }
+}
+
+proptest! {
+    /// Clean streams: strict parallel == strict sequential for every
+    /// thread count.
+    #[test]
+    fn strict_parallel_equals_sequential_clean(n in 0usize..80) {
+        let mut bytes = Vec::new();
+        write_trace(&small_trace(n), &mut bytes).expect("write");
+        let seq = read_trace(bytes.as_slice()).expect("sequential read");
+        for threads in thread_counts() {
+            let par = read_trace_parallel(&bytes, threads).expect("parallel read");
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+
+    /// Fault-injected wire streams: lossy parallel == lossy sequential —
+    /// records, metadata, and every CodecStats counter.
+    #[test]
+    fn lossy_parallel_equals_sequential_under_faults(
+        n in 1usize..60,
+        rate in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let mut injector = FaultInjector::new(FaultProfile::uniform(rate), seed);
+        let mut bytes = Vec::new();
+        write_trace(&small_trace(n), &mut bytes).expect("write");
+        let corrupted = injector.corrupt_bytes(&bytes);
+        let (seq, seq_stats) =
+            read_trace_lossy(corrupted.as_slice()).expect("sequential lossy");
+        for threads in thread_counts() {
+            let (par, par_stats) = read_trace_lossy_parallel(&corrupted, threads);
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+            prop_assert_eq!(&par_stats, &seq_stats, "threads={}", threads);
+        }
+        // The one-fault-per-line invariant survives the chunked merge.
+        prop_assert_eq!(seq_stats.lines_seen(), injector.counts().expected_records(n));
+    }
+
+    /// Arbitrary bytes: the parallel lossy reader mirrors the sequential
+    /// one even on pure garbage (and in particular never panics).
+    #[test]
+    fn lossy_parallel_survives_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..2048),
+    ) {
+        if let Ok((seq, seq_stats)) = read_trace_lossy(bytes.as_slice()) {
+            for threads in thread_counts() {
+                let (par, par_stats) = read_trace_lossy_parallel(&bytes, threads);
+                prop_assert_eq!(&par, &seq, "threads={}", threads);
+                prop_assert_eq!(&par_stats, &seq_stats, "threads={}", threads);
+            }
+        }
+    }
+
+    /// Strict reads of corrupted streams fail on exactly the same line
+    /// under any thread count (deterministic lowest-line error).
+    #[test]
+    fn strict_parallel_reports_same_error_line(
+        n in 2usize..50,
+        corrupt_line in 1usize..49,
+        seed in 0u64..500,
+    ) {
+        let mut bytes = Vec::new();
+        write_trace(&small_trace(n), &mut bytes).expect("write");
+        let mut injector = FaultInjector::new(FaultProfile::uniform(0.3), seed);
+        let corrupted = injector.corrupt_bytes(&bytes);
+        // Force at least one bad record line deterministically.
+        let mut text_lines: Vec<Vec<u8>> = corrupted
+            .split(|&b| b == b'\n')
+            .map(<[u8]>::to_vec)
+            .collect();
+        let target = 1 + (corrupt_line % (text_lines.len().saturating_sub(1).max(1)));
+        if target < text_lines.len() {
+            text_lines[target] = b"{definitely not json".to_vec();
+        }
+        let mutated = text_lines.join(&b"\n"[..]);
+
+        let seq = read_trace(mutated.as_slice());
+        for threads in thread_counts() {
+            let par = read_trace_parallel(&mutated, threads);
+            match (&seq, &par) {
+                (Ok(s), Ok(p)) => prop_assert_eq!(s, p),
+                (Err(CodecError::BadRecord { line: sl, .. }),
+                 Err(CodecError::BadRecord { line: pl, .. })) => {
+                    prop_assert_eq!(sl, pl, "threads={}", threads);
+                }
+                (Err(_), Err(_)) => {} // same failure class (e.g. header)
+                (s, p) => {
+                    panic!("sequential {s:?} vs parallel {p:?} at threads={threads}");
+                }
+            }
+        }
+    }
+
+    /// CodecStats::merge is a plain counter sum: merging in any grouping
+    /// yields the same totals as counting in one pass.
+    #[test]
+    fn codec_stats_merge_is_additive(
+        a in proptest::collection::vec(0usize..50, 7),
+        b in proptest::collection::vec(0usize..50, 7),
+        ha_bit in 0u8..2,
+        hb_bit in 0u8..2,
+    ) {
+        let (ha, hb) = (ha_bit == 1, hb_bit == 1);
+        let build = |v: &[usize], h: bool| CodecStats {
+            records_read: v[0],
+            blank_lines: v[1],
+            skipped_bad_json: v[2],
+            skipped_bad_schema: v[3],
+            skipped_non_utf8: v[4],
+            skipped_oversize: v[5],
+            io_errors: v[6],
+            header_recovered: h,
+        };
+        let sa = build(&a, ha);
+        let sb = build(&b, hb);
+        let mut left = sa.clone();
+        left.merge(&sb);
+        let mut right = sb.clone();
+        right.merge(&sa);
+        prop_assert_eq!(&left, &right, "merge is commutative");
+        prop_assert_eq!(left.records_read, sa.records_read + sb.records_read);
+        prop_assert_eq!(left.total_skipped(), sa.total_skipped() + sb.total_skipped());
+        prop_assert_eq!(left.lines_seen(), sa.lines_seen() + sb.lines_seen());
+        prop_assert_eq!(left.header_recovered, ha || hb);
+        // Identity element.
+        let mut with_default = sa.clone();
+        with_default.merge(&CodecStats::default());
+        prop_assert_eq!(with_default, sa);
+    }
+}

@@ -1,0 +1,93 @@
+//! Loom-style stress loop for the pool's shutdown and panic-propagation
+//! path: 100 seeded iterations with randomized thread counts, job counts,
+//! job durations and injected panics. Every iteration must terminate (no
+//! deadlock on shutdown), propagate the lowest-index panic when one was
+//! injected, and leave the pool reusable.
+
+use parallel::Pool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const ITERATIONS: u64 = 100;
+
+#[test]
+fn seeded_shutdown_and_panic_stress() {
+    for seed in 0..ITERATIONS {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + seed);
+        let threads = rng.gen_range(1..=8);
+        let jobs = rng.gen_range(0..=40usize);
+        let panic_at: Option<usize> = if jobs > 0 && rng.gen_bool(0.5) {
+            Some(rng.gen_range(0..jobs))
+        } else {
+            None
+        };
+        // Spin counts stand in for variable job durations so worker
+        // shutdown interleaves differently across seeds.
+        let spins: Vec<u32> = (0..jobs).map(|_| rng.gen_range(0..500)).collect();
+
+        let pool = Pool::new(threads);
+        let started = AtomicUsize::new(0);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(spins.clone(), |i, spin| {
+                started.fetch_add(1, Ordering::Relaxed);
+                let mut acc = 0u64;
+                for k in 0..spin {
+                    acc = acc.wrapping_mul(31).wrapping_add(k as u64);
+                }
+                std::hint::black_box(acc);
+                if Some(i) == panic_at {
+                    panic!("injected@{i}");
+                }
+                i
+            })
+        }));
+
+        match panic_at {
+            Some(at) => {
+                let payload = run.expect_err("seed {seed}: injected panic must propagate");
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default();
+                assert_eq!(
+                    msg,
+                    format!("injected@{at}"),
+                    "seed {seed}: exactly the injected (lowest-index) panic"
+                );
+            }
+            None => {
+                let out = run.unwrap_or_else(|_| panic!("seed {seed}: spurious panic"));
+                assert_eq!(out, (0..jobs).collect::<Vec<_>>(), "seed {seed}: order");
+                assert_eq!(started.load(Ordering::Relaxed), jobs);
+            }
+        }
+
+        // Shutdown is complete: the same pool value must work again
+        // immediately, on a fresh scope, with full ordering.
+        let after = pool.map((0..threads).collect::<Vec<usize>>(), |_, x| x + 1);
+        assert_eq!(after, (1..=threads).collect::<Vec<_>>(), "seed {seed}");
+    }
+}
+
+#[test]
+fn all_jobs_run_even_when_one_panics() {
+    // Panic propagation must not cancel queued work: the scope only
+    // closes after every job has been popped and executed.
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = rng.gen_range(2..=32usize);
+        let panic_at = rng.gen_range(0..jobs);
+        let ran = AtomicUsize::new(0);
+        let pool = Pool::new(rng.gen_range(2..=6));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(vec![(); jobs], |i, ()| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == panic_at {
+                    panic!("x");
+                }
+            })
+        }));
+        assert_eq!(ran.load(Ordering::Relaxed), jobs, "seed {seed}");
+    }
+}

@@ -1,11 +1,15 @@
 //! The experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments <id>... [--scale small|medium|large] [--seed N]
+//! experiments <id>... [--scale small|medium|large] [--seed N] [--threads N]
 //!
 //! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
 //!      fig6 sec73 sec81 table5 fig7 sensitivity validation robustness all
 //! ```
+//!
+//! `--threads` sets the worker count for the sharded classification
+//! stage (default: this machine's available parallelism). Results are
+//! byte-identical at every thread count — only wall-clock changes.
 
 mod experiments;
 mod world;
@@ -18,6 +22,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Medium;
     let mut seed: u64 = 0x5eed;
+    let mut threads = parallel::available_parallelism();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,6 +40,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("bad --seed value"));
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("bad --threads value"));
+            }
             "--help" | "-h" => usage(""),
             id => ids.push(id.to_string()),
         }
@@ -46,7 +59,7 @@ fn main() {
     if ids.iter().any(|s| s == "all") {
         ids = experiments::ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
-    let mut world = World::new(scale, seed);
+    let mut world = World::new(scale, seed, threads);
     let mut out = String::new();
     for id in &ids {
         match experiments::run(id, &mut world) {
@@ -81,7 +94,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments <id>... [--scale small|medium|large] [--seed N]\n\
+        "usage: experiments <id>... [--scale small|medium|large] [--seed N] [--threads N]\n\
          ids: {} all",
         experiments::ALL_IDS.join(" ")
     );

@@ -43,6 +43,8 @@ pub struct World {
     pub scale: Scale,
     pub eco: Ecosystem,
     pub classifier: PassiveClassifier,
+    /// Worker threads for the sharded classification stage (`--threads`).
+    pub threads: usize,
     active: Option<ActiveResults>,
     rbn1: Option<RbnData>,
     rbn2: Option<RbnData>,
@@ -60,7 +62,7 @@ pub struct RbnData {
 }
 
 impl World {
-    pub fn new(scale: Scale, seed: u64) -> World {
+    pub fn new(scale: Scale, seed: u64, threads: usize) -> World {
         let (publishers, ad_companies, trackers, crawl_sites, ..) = scale.knobs();
         let t = Instant::now();
         let eco = Ecosystem::generate(EcosystemConfig {
@@ -88,6 +90,7 @@ impl World {
             scale,
             eco,
             classifier,
+            threads: threads.max(1),
             active: None,
             rbn1: None,
             rbn2: None,
@@ -180,12 +183,17 @@ impl World {
             t.elapsed().as_secs_f64()
         );
         let t2 = Instant::now();
-        let classified =
-            adscope::pipeline::classify_trace(&trace, &self.classifier, PipelineOptions::default());
+        let classified = adscope::classify_trace_sharded(
+            &trace,
+            &self.classifier,
+            PipelineOptions::default(),
+            self.threads,
+        );
         eprintln!(
-            "[world] {}: classified {} requests ({:.1}s)",
+            "[world] {}: classified {} requests on {} thread(s) ({:.1}s)",
             config.name,
             classified.requests.len(),
+            self.threads,
             t2.elapsed().as_secs_f64()
         );
         RbnData {

@@ -16,11 +16,16 @@
 //! so `cargo bench` runs offline and gives comparable relative numbers
 //! on one machine.
 //!
-//! One extension over the upstream API: when the `BENCH_JSON`
+//! Two extensions over the upstream API: when the `BENCH_JSON`
 //! environment variable names a file, every benchmark appends one
 //! NDJSON record to it (`{"group":...,"name":...,"median_ns":...}`,
-//! see `DESIGN.md` in the workspace root for the full schema). That is
-//! how the workspace's `BENCH_baseline.json` is produced.
+//! see `DESIGN.md` in the workspace root for the full schema), which is
+//! how the workspace's `BENCH_baseline.json` is produced; and
+//! [`BenchmarkGroup::threads`] records how many worker threads the
+//! benchmarked routine uses, so multi-core results (`read_parallel4`,
+//! `full_pipeline_sharded`) stay comparable across machines — the
+//! record carries `"threads":N` (`null` when never set, i.e. a
+//! single-threaded routine).
 
 #![forbid(unsafe_code)]
 
@@ -74,13 +79,14 @@ impl Criterion {
             name: name.to_string(),
             sample_size,
             throughput: None,
+            threads: None,
         }
     }
 
     /// Run a standalone benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
         let sample_size = self.sample_size;
-        run_benchmark(None, name, sample_size, None, f);
+        run_benchmark(None, name, sample_size, None, None, f);
         self
     }
 }
@@ -91,6 +97,7 @@ pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    threads: Option<usize>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -106,6 +113,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Record the worker-thread count used by subsequent benchmarks
+    /// (workspace extension; lands in the BENCH_JSON `threads` field).
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
     /// Time one benchmark function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         run_benchmark(
@@ -113,6 +127,7 @@ impl BenchmarkGroup<'_> {
             name,
             self.sample_size,
             self.throughput,
+            self.threads,
             f,
         );
         self
@@ -160,6 +175,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     name: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
+    threads: Option<usize>,
     mut f: F,
 ) {
     // Calibrate: grow the iteration count until one sample takes ≳2 ms so
@@ -204,7 +220,17 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         fmt_time(lo),
         fmt_time(hi)
     );
-    emit_json(group, name, median, lo, hi, iters, sample_size, throughput);
+    emit_json(
+        group,
+        name,
+        median,
+        lo,
+        hi,
+        iters,
+        sample_size,
+        throughput,
+        threads,
+    );
 }
 
 /// Append one NDJSON record for this benchmark to the file named by the
@@ -220,6 +246,7 @@ fn emit_json(
     iters: u64,
     sample_size: usize,
     throughput: Option<Throughput>,
+    threads: Option<usize>,
 ) {
     let path = match std::env::var("BENCH_JSON") {
         Ok(p) if !p.is_empty() => p,
@@ -234,10 +261,14 @@ fn emit_json(
         Some(Throughput::Elements(n)) => format!("{{\"elements\":{n}}}"),
         None => "null".to_string(),
     };
+    let threads_json = match threads {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
     let line = format!(
         "{{\"group\":{group_json},\"name\":{},\"median_ns\":{:.1},\"low_ns\":{:.1},\
          \"high_ns\":{:.1},\"iters_per_sample\":{iters},\"samples\":{sample_size},\
-         \"throughput\":{throughput_json}}}",
+         \"throughput\":{throughput_json},\"threads\":{threads_json}}}",
         json_str(name),
         median * 1e9,
         lo * 1e9,
@@ -365,6 +396,17 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn threads_setter_clamps_to_at_least_one() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2).threads(0);
+        assert_eq!(group.threads, Some(1));
+        group.threads(8);
+        assert_eq!(group.threads, Some(8));
+        group.finish();
     }
 
     #[test]
