@@ -31,6 +31,21 @@ grep -q '^# TYPE ' target/experiments/metrics.prom
 grep -q '^adscope_requests_classified_total ' target/experiments/metrics.prom
 test -s target/experiments/events.ndjson
 
+echo "==> experiments explain (provenance gate)"
+explain_out="$(./target/release/experiments explain --url http://niceads.example/banner.gif)"
+grep -q "trace: VALID" <<<"$explain_out"
+grep -q "verdict: whitelisted" <<<"$explain_out"
+test -s target/experiments/explain_trace.ndjson
+
+echo "==> cargo bench (gated: trace_io, pipeline, trace_overhead)"
+rm -f BENCH_latest.json
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_io
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench pipeline
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_overhead
+
+echo "==> bench_gate (regression + tracing overhead)"
+cargo run --release -q -p bench --bin bench_gate -- BENCH_baseline.json BENCH_latest.json
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

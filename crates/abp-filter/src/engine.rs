@@ -48,6 +48,11 @@ pub struct Classification {
     /// True when the exception is a `$document` rule matching the *page*,
     /// which whitelists every request on it.
     pub page_whitelisted: bool,
+    /// How many blocking candidates the token index surfaced before the
+    /// first match (0 = the very first candidate matched); `None` when no
+    /// blocking rule matched. Deterministic for a given engine and
+    /// request — the verdict-provenance layer exports it per trace.
+    pub first_match_depth: Option<u32>,
 }
 
 impl Classification {
@@ -337,6 +342,7 @@ impl Engine {
             blocking,
             exception,
             page_whitelisted,
+            first_match_depth: first_match_depth.map(|d| d.min(u64::from(u32::MAX)) as u32),
         }
     }
 
@@ -382,6 +388,25 @@ mod tests {
         assert!(c.would_block());
         assert!(c.is_ad());
         assert_eq!(c.primary_list(), Some(ids[0]));
+    }
+
+    #[test]
+    fn first_match_depth_reported() {
+        let (e, _) = engine_with(&[("easylist", "||ads.example^\n")]);
+        let hit = classify(
+            &e,
+            "http://ads.example/banner.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert_eq!(hit.first_match_depth, Some(0), "first candidate matched");
+        let miss = classify(
+            &e,
+            "http://cdn.example.net/logo.png",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert_eq!(miss.first_match_depth, None, "no blocking match, no depth");
     }
 
     #[test]

@@ -179,12 +179,27 @@ impl PassiveClassifier {
 
     /// Classify one request.
     pub fn classify(&self, url: &Url, page: Option<&Url>, category: ContentCategory) -> AdLabel {
+        self.classify_traced(url, page, category).0
+    }
+
+    /// Classify one request, also returning the engine's full
+    /// [`Classification`] (matched rule texts, first-match depth). Costs
+    /// the same as [`classify`](Self::classify) — the engine builds the
+    /// structure either way; this variant hands it back instead of
+    /// dropping it, so the provenance layer can keep it for sampled
+    /// records.
+    pub fn classify_traced(
+        &self,
+        url: &Url,
+        page: Option<&Url>,
+        category: ContentCategory,
+    ) -> (AdLabel, Classification) {
         let c = self.engine.classify(&Request {
             url,
             source_url: page,
             category,
         });
-        AdLabel::from_classification(&c, &self.kinds)
+        (AdLabel::from_classification(&c, &self.kinds), c)
     }
 }
 

@@ -27,6 +27,35 @@ impl Default for ContentOptions {
     }
 }
 
+/// Which signal decided a request's content category — the inference
+/// path the verdict-provenance layer exports (§3.1 lists three: file
+/// extension, Content-Type header, redirect propagation; the last is
+/// applied by the pipeline's backfill pass, which upgrades the source to
+/// [`ContentSource::Redirect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentSource {
+    /// The file-extension map decided.
+    Extension,
+    /// The Content-Type response header decided.
+    Header,
+    /// The type was propagated back across a redirect (backfill pass).
+    Redirect,
+    /// No signal applied; the category is `Other`.
+    None,
+}
+
+impl ContentSource {
+    /// Stable lowercase label for provenance output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContentSource::Extension => "extension",
+            ContentSource::Header => "header",
+            ContentSource::Redirect => "redirect",
+            ContentSource::None => "none",
+        }
+    }
+}
+
 /// Infer the general content category of a request from its URL and
 /// response Content-Type.
 pub fn infer_category(
@@ -34,10 +63,21 @@ pub fn infer_category(
     content_type: Option<&str>,
     opts: ContentOptions,
 ) -> ContentCategory {
+    infer_category_traced(url, content_type, opts).0
+}
+
+/// Like [`infer_category`], also reporting which signal decided. The
+/// source is a `Copy` byte, so the traced variant costs nothing extra —
+/// the pipeline always calls it and only keeps the source when tracing.
+pub fn infer_category_traced(
+    url: &Url,
+    content_type: Option<&str>,
+    opts: ContentOptions,
+) -> (ContentCategory, ContentSource) {
     if opts.use_extension {
         if let Some(ext) = url.extension() {
             if let Some(cat) = category_for_extension(&ext) {
-                return cat;
+                return (cat, ContentSource::Extension);
             }
         }
     }
@@ -45,11 +85,11 @@ pub fn infer_category(
         if let Some(ct) = content_type {
             let cat = ContentCategory::from_mime(ct);
             if cat != ContentCategory::Other {
-                return cat;
+                return (cat, ContentSource::Header);
             }
         }
     }
-    ContentCategory::Other
+    (ContentCategory::Other, ContentSource::None)
 }
 
 #[cfg(test)]
@@ -118,6 +158,21 @@ mod tests {
         assert_eq!(cat, ContentCategory::Image);
         let cat2 = infer_category(&url("http://x.example/api"), Some("text/plain"), opts);
         assert_eq!(cat2, ContentCategory::Other);
+    }
+
+    #[test]
+    fn traced_variant_reports_the_deciding_signal() {
+        let opts = ContentOptions::default();
+        let (cat, src) = infer_category_traced(&url("http://x.example/a.gif"), None, opts);
+        assert_eq!(
+            (cat, src),
+            (ContentCategory::Image, ContentSource::Extension)
+        );
+        let (cat, src) =
+            infer_category_traced(&url("http://x.example/api"), Some("text/plain"), opts);
+        assert_eq!((cat, src), (ContentCategory::Xhr, ContentSource::Header));
+        let (cat, src) = infer_category_traced(&url("http://x.example/mystery"), None, opts);
+        assert_eq!((cat, src), (ContentCategory::Other, ContentSource::None));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod infer;
 pub mod intern;
 pub mod normalize;
 pub mod pipeline;
+pub mod provenance;
 pub mod refmap;
 pub mod shard;
 pub mod users;
@@ -43,5 +44,6 @@ pub mod users;
 pub use classify::{AdLabel, Attribution, ListKind, PassiveClassifier};
 pub use degrade::DegradationReport;
 pub use pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
+pub use provenance::{TraceOptions, Tracer, VerdictProvenance};
 pub use shard::{classify_trace_sharded, classify_trace_sharded_in};
 pub use users::{UserAggregate, UserKey};

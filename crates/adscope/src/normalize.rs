@@ -82,6 +82,20 @@ impl UrlNormalizer {
 
     /// Normalize one URL: dynamic query values become `X` unless protected.
     pub fn normalize(&self, url: &Url) -> Url {
+        self.rewrite(url, None)
+    }
+
+    /// Like [`normalize`](Self::normalize), also reporting which query
+    /// keys were rewritten. Only the provenance layer calls this, and
+    /// only for sampled records — the hot path never pays for the key
+    /// list.
+    pub fn normalize_explain(&self, url: &Url) -> (Url, Vec<String>) {
+        let mut rewrites = Vec::new();
+        let out = self.rewrite(url, Some(&mut rewrites));
+        (out, rewrites)
+    }
+
+    fn rewrite(&self, url: &Url, mut rewrites: Option<&mut Vec<String>>) -> Url {
         if !self.enabled {
             return url.clone();
         }
@@ -97,6 +111,9 @@ impl UrlNormalizer {
                     kv.to_string()
                 } else if Self::is_dynamic(v) && !self.is_protected(k, v) {
                     changed = true;
+                    if let Some(keys) = rewrites.as_deref_mut() {
+                        keys.push(k.to_string());
+                    }
                     format!("{k}={PLACEHOLDER}")
                 } else {
                     kv.to_string()
@@ -158,6 +175,17 @@ mod tests {
         // A different numeric id is not protected.
         let v = n.normalize(&url("http://a.example/track?id=999999"));
         assert_eq!(v.query(), Some("id=X"));
+    }
+
+    #[test]
+    fn explain_lists_rewritten_keys() {
+        let n = UrlNormalizer::with_protected(vec![]);
+        let (u, keys) =
+            n.normalize_explain(&url("http://a.example/x?cb=123456&lang=en&ord=987654"));
+        assert_eq!(u.query(), Some("cb=X&lang=en&ord=X"));
+        assert_eq!(keys, vec!["cb".to_string(), "ord".to_string()]);
+        let (_, none) = n.normalize_explain(&url("http://a.example/x?lang=en"));
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The end-to-end classification pipeline (Figure 1 of the paper).
 
 use crate::classify::{AdLabel, PassiveClassifier};
-use crate::content::{infer_category, ContentOptions};
+use crate::content::{infer_category_traced, ContentOptions, ContentSource};
 use crate::degrade::DegradationReport;
 use crate::extract::{extract, extract_with_report, WebObject};
 use crate::normalize::UrlNormalizer;
+use crate::provenance::{self, RecordMeta, TraceOptions, Tracer, VerdictProvenance};
 use crate::refmap::{RefMap, RefMapOptions};
 use http_model::{ContentCategory, Url};
 use netsim::record::{TlsConnection, Trace, TraceMeta};
@@ -20,6 +21,8 @@ pub struct PipelineOptions {
     pub content: ContentOptions,
     /// Normalize query strings before classification.
     pub normalize: bool,
+    /// Verdict-provenance tracing (off by default).
+    pub trace: TraceOptions,
 }
 
 impl Default for PipelineOptions {
@@ -28,6 +31,7 @@ impl Default for PipelineOptions {
             refmap: RefMapOptions::default(),
             content: ContentOptions::default(),
             normalize: true,
+            trace: TraceOptions::default(),
         }
     }
 }
@@ -81,6 +85,9 @@ pub struct ClassifiedTrace {
     pub dropped: usize,
     /// Per-stage accounting of degraded input the pipeline absorbed.
     pub degradation: DegradationReport,
+    /// Verdict provenance of sampled requests, in record order. Empty
+    /// unless [`PipelineOptions::trace`] enables the tracer.
+    pub provenance: Vec<VerdictProvenance>,
 }
 
 impl ClassifiedTrace {
@@ -135,12 +142,18 @@ pub fn classify_trace_in(
         n
     };
 
+    // Verdict-provenance tracer: `None` (the default) keeps every
+    // tracing branch below off the hot path.
+    let tracer = Tracer::new(&trace.meta.name, opts.trace);
+
     // Pass 1: per-user referrer map + provisional types.
     let mut span = registry.span_with("adscope_stage", &[("stage", "refmap")]);
     span.count("records_in", objects.len() as u64);
     let mut per_user: HashMap<(u32, Option<&str>), RefMap> = HashMap::new();
     let mut pages: Vec<Option<Url>> = Vec::with_capacity(objects.len());
     let mut categories: Vec<ContentCategory> = Vec::with_capacity(objects.len());
+    // Per-record stage facts (Copy), collected only while tracing.
+    let mut metas: Vec<RecordMeta> = Vec::new();
     // idx (trace position) → objects position, for backfill.
     let mut pos_of_idx: HashMap<usize, usize> = HashMap::with_capacity(objects.len());
     let mut backfills: Vec<(usize, ContentCategory)> = Vec::new();
@@ -157,7 +170,16 @@ pub fn classify_trace_in(
             .entry(user_key)
             .or_insert_with(|| RefMap::new(opts.refmap));
         let entry = map.process(obj);
-        let cat = infer_category(&obj.url, obj.content_type.as_deref(), opts.content);
+        let (cat, cat_src) =
+            infer_category_traced(&obj.url, obj.content_type.as_deref(), opts.content);
+        if tracer.is_some() {
+            metas.push(RecordMeta {
+                page_source: entry.ctx.source,
+                hops: entry.ctx.hops,
+                via_redirect: entry.ctx.via_redirect,
+                content_source: cat_src,
+            });
+        }
         if let Some(redirecting_idx) = entry.backfill_type_to {
             backfills.push((redirecting_idx, cat));
         }
@@ -183,6 +205,9 @@ pub fn classify_trace_in(
             if cat != ContentCategory::Other {
                 categories[pos] = cat;
                 backfilled += 1;
+                if tracer.is_some() {
+                    metas[pos].content_source = ContentSource::Redirect;
+                }
             }
         }
     }
@@ -199,12 +224,31 @@ pub fn classify_trace_in(
     // Pass 3: normalize + classify.
     let mut span = registry.span_with("adscope_stage", &[("stage", "classify")]);
     span.count("records_in", objects.len() as u64);
+    let mut provenance: Vec<VerdictProvenance> = Vec::new();
     let requests: Vec<ClassifiedRequest> = objects
         .iter()
         .enumerate()
         .map(|(pos, obj)| {
             let url = normalizer.normalize(&obj.url);
-            let label = classifier.classify(&url, pages[pos].as_ref(), categories[pos]);
+            let label = if let Some(t) = &tracer {
+                let (label, c) =
+                    classifier.classify_traced(&url, pages[pos].as_ref(), categories[pos]);
+                if let Some(cause) = t.cause(obj.idx as u64, &c, pages[pos].is_none()) {
+                    provenance.push(t.build(
+                        cause,
+                        obj,
+                        &normalizer,
+                        classifier,
+                        pages[pos].as_ref(),
+                        metas[pos],
+                        categories[pos],
+                        &c,
+                    ));
+                }
+                label
+            } else {
+                classifier.classify(&url, pages[pos].as_ref(), categories[pos])
+            };
             ClassifiedRequest {
                 ts: obj.ts,
                 client_ip: obj.client_ip,
@@ -239,6 +283,7 @@ pub fn classify_trace_in(
             .counter_with("adscope_degradation_total", &[("reason", reason)])
             .add(count as u64);
     }
+    provenance::publish(&provenance, registry);
 
     ClassifiedTrace {
         meta: trace.meta.clone(),
@@ -246,6 +291,7 @@ pub fn classify_trace_in(
         https_flows: trace.https_flows().cloned().collect(),
         dropped,
         degradation,
+        provenance,
     }
 }
 

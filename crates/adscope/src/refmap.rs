@@ -26,6 +26,39 @@ const PAGE_HORIZON_SECS: f64 = 120.0;
 /// How long a pending redirect target is honoured.
 const REDIRECT_HORIZON_SECS: f64 = 10.0;
 
+/// Which of the three §3.1 signals produced a page context — the
+/// referrer-chain provenance the trace layer exports per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSource {
+    /// No signal applied; the request has no page context.
+    None,
+    /// Stitched across a 3xx hop via the recorded `Location` header.
+    RedirectRepair,
+    /// Resolved through the referer chain to a previously seen root.
+    RefererChain,
+    /// The referer itself was unseen (e.g. an HTTPS page) and became the
+    /// root.
+    RefererRoot,
+    /// The object looks like a topmost document and roots its own page.
+    DocumentSelf,
+    /// Orphan attached to the user's most recent page within the horizon.
+    RecentPage,
+}
+
+impl PageSource {
+    /// Stable lowercase label for provenance output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PageSource::None => "none",
+            PageSource::RedirectRepair => "redirect_repair",
+            PageSource::RefererChain => "referer_chain",
+            PageSource::RefererRoot => "referer_root",
+            PageSource::DocumentSelf => "document_self",
+            PageSource::RecentPage => "recent_page",
+        }
+    }
+}
+
 /// Result of page reconstruction for one object.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PageContext {
@@ -33,6 +66,11 @@ pub struct PageContext {
     pub page: Option<Url>,
     /// True when the context came from redirect repair (diagnostics).
     pub via_redirect: bool,
+    /// Which signal produced the context.
+    pub source: PageSource,
+    /// Referrer-chain hops between this request and its page root
+    /// (0 = the request is its own root or has no context).
+    pub hops: u16,
 }
 
 /// Options for the referrer map (ablation toggles).
@@ -56,11 +94,11 @@ impl Default for RefMapOptions {
 /// Per-user referrer-map state.
 #[derive(Debug, Default)]
 pub struct RefMap {
-    /// url (scheme-less) → (page root url, last seen ts).
-    page_of: HashMap<String, (Url, f64)>,
+    /// url (scheme-less) → (page root url, last seen ts, hops to root).
+    page_of: HashMap<String, (Url, f64, u16)>,
     /// pending redirect target (scheme-less) → (page root, expected type
-    /// backfill index, ts).
-    pending_redirects: HashMap<String, (Option<Url>, usize, f64)>,
+    /// backfill index, ts, hops of the redirecting request).
+    pending_redirects: HashMap<String, (Option<Url>, usize, f64, u16)>,
     /// The user's most recent page root (fallback context).
     last_page: Option<(Url, f64)>,
     opts: RefMapOptions,
@@ -117,13 +155,21 @@ impl RefMap {
         let own_key = Self::key(&obj.url);
         let mut via_redirect = false;
         let mut backfill_type_to = None;
+        let mut source = PageSource::None;
+        let mut hops = 0u16;
 
         // 1. Redirect repair: am I the target of a recent redirect?
         let mut page: Option<Url> = if self.opts.redirect_repair {
-            if let Some((root, redirecting_idx, _)) = self.pending_redirects.remove(&own_key) {
+            if let Some((root, redirecting_idx, _, redirect_hops)) =
+                self.pending_redirects.remove(&own_key)
+            {
                 self.redirects_consumed += 1;
                 via_redirect = true;
                 backfill_type_to = Some(redirecting_idx);
+                if root.is_some() {
+                    source = PageSource::RedirectRepair;
+                    hops = redirect_hops.saturating_add(1);
+                }
                 root
             } else {
                 None
@@ -137,10 +183,18 @@ impl RefMap {
             if let Some(referer) = &obj.referer {
                 let rkey = Self::key(referer);
                 page = match self.page_of.get(&rkey) {
-                    Some((root, _)) => Some(root.clone()),
+                    Some((root, _, referer_hops)) => {
+                        source = PageSource::RefererChain;
+                        hops = referer_hops.saturating_add(1);
+                        Some(root.clone())
+                    }
                     // Referer unseen (e.g. HTTPS page with HTTP children):
                     // the referer itself becomes the page root.
-                    None => Some(referer.clone()),
+                    None => {
+                        source = PageSource::RefererRoot;
+                        hops = 1;
+                        Some(referer.clone())
+                    }
                 };
             }
         }
@@ -150,9 +204,12 @@ impl RefMap {
         //    the horizon.
         if page.is_none() {
             if Self::looks_like_document(obj) {
+                source = PageSource::DocumentSelf;
                 page = Some(obj.url.clone());
             } else if let Some((root, ts)) = &self.last_page {
                 if obj.ts - ts <= PAGE_HORIZON_SECS {
+                    source = PageSource::RecentPage;
+                    hops = 1;
                     page = Some(root.clone());
                 }
             }
@@ -160,7 +217,7 @@ impl RefMap {
 
         // Update state.
         if let Some(root) = &page {
-            self.page_of.insert(own_key, (root.clone(), obj.ts));
+            self.page_of.insert(own_key, (root.clone(), obj.ts, hops));
             self.last_page = Some((root.clone(), obj.ts));
         } else if Self::looks_like_document(obj) {
             self.last_page = Some((obj.url.clone(), obj.ts));
@@ -170,19 +227,27 @@ impl RefMap {
             if let Some(loc) = &obj.location {
                 self.redirects_inserted += 1;
                 self.pending_redirects
-                    .insert(Self::key(loc), (page.clone(), obj.idx, obj.ts));
+                    .insert(Self::key(loc), (page.clone(), obj.idx, obj.ts, hops));
             }
         }
         // Embedded URLs in the query string join the same page.
         if self.opts.embedded_urls {
             if let Some(root) = &page {
                 for emb in embedded_urls(&obj.url) {
-                    self.page_of.insert(Self::key(&emb), (root.clone(), obj.ts));
+                    self.page_of.insert(
+                        Self::key(&emb),
+                        (root.clone(), obj.ts, hops.saturating_add(1)),
+                    );
                 }
             }
         }
         RefMapEntry {
-            ctx: PageContext { page, via_redirect },
+            ctx: PageContext {
+                page,
+                via_redirect,
+                source,
+                hops,
+            },
             backfill_type_to,
         }
     }
@@ -202,11 +267,11 @@ impl RefMap {
     fn evict(&mut self, now: f64) {
         if self.page_of.len() > 4096 {
             self.page_of
-                .retain(|_, (_, ts)| now - *ts <= PAGE_HORIZON_SECS);
+                .retain(|_, (_, ts, _)| now - *ts <= PAGE_HORIZON_SECS);
         }
         if self.pending_redirects.len() > 256 {
             self.pending_redirects
-                .retain(|_, (_, _, ts)| now - *ts <= REDIRECT_HORIZON_SECS);
+                .retain(|_, (_, _, ts, _)| now - *ts <= REDIRECT_HORIZON_SECS);
         }
     }
 }
@@ -267,6 +332,8 @@ mod tests {
         let doc = obj(0, 0.0, "http://pub.example/", None, Some("text/html"), None);
         let e0 = m.process(&doc);
         assert_eq!(e0.ctx.page.as_ref().unwrap().host(), "pub.example");
+        assert_eq!(e0.ctx.source, PageSource::DocumentSelf);
+        assert_eq!(e0.ctx.hops, 0);
         let script = obj(
             1,
             0.5,
@@ -280,6 +347,8 @@ mod tests {
             e1.ctx.page.as_ref().unwrap().as_string(),
             "http://pub.example/"
         );
+        assert_eq!(e1.ctx.source, PageSource::RefererChain);
+        assert_eq!(e1.ctx.hops, 1);
         // Child of the script keeps the same root.
         let img = obj(
             2,
@@ -294,6 +363,7 @@ mod tests {
             e2.ctx.page.as_ref().unwrap().as_string(),
             "http://pub.example/"
         );
+        assert_eq!(e2.ctx.hops, 2, "root ← script ← image is two hops");
     }
 
     #[test]
@@ -328,6 +398,8 @@ mod tests {
         );
         let e = m.process(&target);
         assert!(e.ctx.via_redirect);
+        assert_eq!(e.ctx.source, PageSource::RedirectRepair);
+        assert_eq!(e.ctx.hops, 2, "root ← redirector ← target");
         assert_eq!(
             e.ctx.page.as_ref().unwrap().as_string(),
             "http://pub.example/"

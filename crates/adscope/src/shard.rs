@@ -29,10 +29,11 @@
 //!   same way the sequential path does).
 
 use crate::classify::PassiveClassifier;
-use crate::content::infer_category;
+use crate::content::{infer_category_traced, ContentSource};
 use crate::extract::{extract_with_report, WebObject};
 use crate::normalize::UrlNormalizer;
 use crate::pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
+use crate::provenance::{self, RecordMeta, Tracer, VerdictProvenance};
 use crate::refmap::RefMap;
 use ::parallel::Pool;
 use http_model::{ContentCategory, Url};
@@ -65,6 +66,9 @@ fn shard_of(client_ip: u32, user_agent: Option<&str>, nshards: u64) -> usize {
 /// their global record position, plus the shard's degradation partials.
 struct ShardOutput {
     requests: Vec<(usize, ClassifiedRequest)>,
+    /// Sampled verdict provenance, tagged with global record position so
+    /// the merge can restore the sequential order.
+    provenance: Vec<(usize, VerdictProvenance)>,
     refmap_misses: usize,
     broken_redirect_chains: usize,
     content_type_fallbacks: usize,
@@ -80,6 +84,7 @@ fn process_shard(
     classifier: &PassiveClassifier,
     normalizer: &UrlNormalizer,
     opts: PipelineOptions,
+    tracer: Option<&Tracer>,
 ) -> ShardOutput {
     // Pass 1: per-user referrer map + provisional types, exactly as the
     // sequential pipeline runs it (the code shape mirrors
@@ -87,6 +92,7 @@ fn process_shard(
     let mut per_user: HashMap<(u32, Option<&str>), RefMap> = HashMap::new();
     let mut pages: Vec<Option<Url>> = Vec::with_capacity(positions.len());
     let mut categories: Vec<ContentCategory> = Vec::with_capacity(positions.len());
+    let mut metas: Vec<RecordMeta> = Vec::new();
     let mut local_of_idx: HashMap<usize, usize> = HashMap::with_capacity(positions.len());
     let mut backfills: Vec<(usize, ContentCategory)> = Vec::new();
     let mut refmap_misses = 0usize;
@@ -99,7 +105,16 @@ fn process_shard(
             .entry(user_key)
             .or_insert_with(|| RefMap::new(opts.refmap));
         let entry = map.process(obj);
-        let cat = infer_category(&obj.url, obj.content_type.as_deref(), opts.content);
+        let (cat, cat_src) =
+            infer_category_traced(&obj.url, obj.content_type.as_deref(), opts.content);
+        if tracer.is_some() {
+            metas.push(RecordMeta {
+                page_source: entry.ctx.source,
+                hops: entry.ctx.hops,
+                via_redirect: entry.ctx.via_redirect,
+                content_source: cat_src,
+            });
+        }
         if let Some(redirecting_idx) = entry.backfill_type_to {
             backfills.push((redirecting_idx, cat));
         }
@@ -120,6 +135,9 @@ fn process_shard(
         if let Some(&local) = local_of_idx.get(&idx) {
             if cat != ContentCategory::Other {
                 categories[local] = cat;
+                if tracer.is_some() {
+                    metas[local].content_source = ContentSource::Redirect;
+                }
             }
         }
     }
@@ -131,13 +149,35 @@ fn process_shard(
     }
 
     // Pass 3: normalize + classify.
+    let mut prov: Vec<(usize, VerdictProvenance)> = Vec::new();
     let requests = positions
         .iter()
         .enumerate()
         .map(|(local, &pos)| {
             let obj = &objects[pos];
             let url = normalizer.normalize(&obj.url);
-            let label = classifier.classify(&url, pages[local].as_ref(), categories[local]);
+            let label = if let Some(t) = tracer {
+                let (label, c) =
+                    classifier.classify_traced(&url, pages[local].as_ref(), categories[local]);
+                if let Some(cause) = t.cause(obj.idx as u64, &c, pages[local].is_none()) {
+                    prov.push((
+                        pos,
+                        t.build(
+                            cause,
+                            obj,
+                            normalizer,
+                            classifier,
+                            pages[local].as_ref(),
+                            metas[local],
+                            categories[local],
+                            &c,
+                        ),
+                    ));
+                }
+                label
+            } else {
+                classifier.classify(&url, pages[local].as_ref(), categories[local])
+            };
             (
                 pos,
                 ClassifiedRequest {
@@ -160,6 +200,7 @@ fn process_shard(
 
     ShardOutput {
         requests,
+        provenance: prov,
         refmap_misses,
         broken_redirect_chains,
         content_type_fallbacks,
@@ -227,13 +268,25 @@ pub fn classify_trace_sharded_in(
     }
     shards.retain(|s| !s.is_empty());
 
+    // Verdict-provenance tracer, shared read-only by all workers. Every
+    // sampling decision is a pure function of record identity, so the
+    // shards agree with the sequential pipeline record-for-record.
+    let tracer = Tracer::new(&trace.meta.name, opts.trace);
+
     // Stage: shard = refmap + backfill + classify, fused per shard.
     let mut span = registry.span_with("adscope_stage", &[("stage", "shard")]);
     span.count("records_in", objects.len() as u64);
     span.count("shards", shards.len() as u64);
     span.count("threads", pool.threads() as u64);
     let outputs = pool.map(shards, |_, positions| {
-        process_shard(&objects, &positions, classifier, &normalizer, opts)
+        process_shard(
+            &objects,
+            &positions,
+            classifier,
+            &normalizer,
+            opts,
+            tracer.as_ref(),
+        )
     });
 
     // Merge: scatter requests back into global record order; sum the
@@ -241,16 +294,23 @@ pub fn classify_trace_sharded_in(
     // total is independent of shard layout and scheduling).
     let mut slots: Vec<Option<ClassifiedRequest>> = (0..objects.len()).map(|_| None).collect();
     let mut users = 0usize;
+    let mut tagged_provenance: Vec<(usize, VerdictProvenance)> = Vec::new();
     for out in outputs {
         users += out.users;
         degradation.refmap_misses += out.refmap_misses;
         degradation.broken_redirect_chains += out.broken_redirect_chains;
         degradation.content_type_fallbacks += out.content_type_fallbacks;
+        tagged_provenance.extend(out.provenance);
         for (pos, req) in out.requests {
             debug_assert!(slots[pos].is_none(), "each record classified exactly once");
             slots[pos] = Some(req);
         }
     }
+    // Restore the sequential record order before publishing, so the
+    // trace sink's contents are byte-identical at any thread count.
+    tagged_provenance.sort_unstable_by_key(|(pos, _)| *pos);
+    let provenance: Vec<VerdictProvenance> =
+        tagged_provenance.into_iter().map(|(_, vp)| vp).collect();
     let requests: Vec<ClassifiedRequest> = slots
         .into_iter()
         .map(|s| s.expect("every record belongs to exactly one shard"))
@@ -274,6 +334,7 @@ pub fn classify_trace_sharded_in(
             .counter_with("adscope_degradation_total", &[("reason", reason)])
             .add(count as u64);
     }
+    provenance::publish(&provenance, registry);
 
     ClassifiedTrace {
         meta: trace.meta.clone(),
@@ -281,6 +342,7 @@ pub fn classify_trace_sharded_in(
         https_flows: trace.https_flows().cloned().collect(),
         dropped,
         degradation,
+        provenance,
     }
 }
 

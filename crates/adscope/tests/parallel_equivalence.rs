@@ -11,6 +11,7 @@
 use abp_filter::FilterList;
 use adscope::classify::PassiveClassifier;
 use adscope::pipeline::{classify_trace_in, PipelineOptions};
+use adscope::provenance::TraceOptions;
 use adscope::shard::classify_trace_sharded_in;
 use http_model::headers::{RequestHeaders, ResponseHeaders};
 use http_model::transaction::Method;
@@ -146,6 +147,40 @@ proptest! {
         seed in 0u64..1000,
     ) {
         assert_equivalent(&messy_trace(n, users, seed), PipelineOptions::default());
+    }
+
+    /// Verdict provenance is thread-invariant down to the rendered
+    /// bytes: with tracing on, the sampled set, the record order, every
+    /// provenance field, and the NDJSON lines in the trace sink are
+    /// identical at any thread count.
+    #[test]
+    fn sampled_provenance_is_byte_identical_across_threads(
+        n in 1usize..100,
+        users in 1u32..8,
+        seed in 0u64..500,
+    ) {
+        let opts = PipelineOptions {
+            trace: TraceOptions { sample_ppm: 300_000, always_sample_exceptional: true },
+            ..Default::default()
+        };
+        let trace = messy_trace(n, users, seed);
+        let c = classifier();
+        let seq_reg = obs::Registry::new();
+        let seq = classify_trace_in(&trace, &c, opts, &seq_reg);
+        let seq_lines = seq_reg.traces().snapshot();
+        for threads in thread_counts() {
+            let par_reg = obs::Registry::new();
+            let par = classify_trace_sharded_in(&trace, &c, opts, threads, &par_reg);
+            prop_assert_eq!(&par.provenance, &seq.provenance, "threads={}", threads);
+            prop_assert_eq!(&par.requests, &seq.requests, "threads={}", threads);
+            let par_lines = par_reg.traces().snapshot();
+            prop_assert_eq!(&par_lines, &seq_lines, "NDJSON bytes, threads={}", threads);
+        }
+        // The rendered lines are exactly the sampled records in order.
+        prop_assert_eq!(seq_lines.len(), seq.provenance.len());
+        for (line, vp) in seq_lines.iter().zip(&seq.provenance) {
+            prop_assert_eq!(line, &vp.to_json());
+        }
     }
 
     /// Ablations (normalization off) shard identically too.

@@ -27,6 +27,51 @@ use crate::codec::{
 use crate::json;
 use crate::record::{Trace, TraceRecord};
 use ::parallel::{split_ranges, Pool};
+use obs::events::FieldValue;
+use obs::trace::{seed_from_name, SpanId, TraceId};
+
+/// Emit the decode trace context for one parallel read: a root `decode`
+/// span plus one child span per chunk, all ids derived from the trace
+/// name and input size. These are *physical-plan* spans — the chunk
+/// layout legitimately varies with the thread count (unlike the logical
+/// per-request traces in `adscope`, which are thread-invariant by
+/// contract) — so they go to the event log, not the provenance sink.
+fn emit_decode_spans(
+    registry: &obs::Registry,
+    meta_name: &str,
+    total_bytes: usize,
+    chunk_records: &[u64],
+    threads: usize,
+) {
+    let trace = TraceId::derive(seed_from_name(meta_name), total_bytes as u64);
+    let root = SpanId::derive(trace, "decode");
+    registry.event(
+        "decode_span",
+        vec![
+            ("trace_id", FieldValue::Str(trace.to_hex())),
+            ("span_id", FieldValue::Str(root.to_hex())),
+            ("stage", FieldValue::Str("decode".into())),
+            ("bytes", FieldValue::U64(total_bytes as u64)),
+            ("records", FieldValue::U64(chunk_records.iter().sum())),
+            ("chunks", FieldValue::U64(chunk_records.len() as u64)),
+            ("threads", FieldValue::U64(threads as u64)),
+        ],
+    );
+    for (i, &records) in chunk_records.iter().enumerate() {
+        let span = SpanId::derive_indexed(trace, "chunk", i as u64);
+        registry.event(
+            "decode_span",
+            vec![
+                ("trace_id", FieldValue::Str(trace.to_hex())),
+                ("span_id", FieldValue::Str(span.to_hex())),
+                ("parent_id", FieldValue::Str(root.to_hex())),
+                ("stage", FieldValue::Str("chunk".into())),
+                ("index", FieldValue::U64(i as u64)),
+                ("records", FieldValue::U64(records)),
+            ],
+        );
+    }
+}
 
 /// Iterate the lines of `bytes` (excluding the `\n` terminators). A
 /// trailing line without a final newline is yielded too, matching
@@ -138,9 +183,11 @@ pub fn read_trace_parallel(bytes: &[u8], threads: usize) -> Result<Trace, CodecE
 
     let mut records = Vec::new();
     let mut lines_before = 0usize;
+    let mut chunk_records: Vec<u64> = Vec::new();
     for out in outs {
         match out {
             Ok((mut recs, line_count)) => {
+                chunk_records.push(recs.len() as u64);
                 records.append(&mut recs);
                 lines_before += line_count;
             }
@@ -152,6 +199,13 @@ pub fn read_trace_parallel(bytes: &[u8], threads: usize) -> Result<Trace, CodecE
             }
         }
     }
+    emit_decode_spans(
+        registry,
+        &meta.name,
+        bytes.len(),
+        &chunk_records,
+        pool.threads(),
+    );
 
     span.count("records", records.len() as u64);
     span.count("bytes", bytes.len() as u64);
@@ -255,16 +309,25 @@ pub fn read_trace_lossy_parallel_in(
 
     let mut records = Vec::new();
     let mut kept_bytes = 0u64;
+    let mut chunk_records: Vec<u64> = Vec::new();
     for chunk in outs {
         let LossyChunk {
             records: mut recs,
             stats: chunk_stats,
             kept_bytes: chunk_bytes,
         } = chunk;
+        chunk_records.push(recs.len() as u64);
         records.append(&mut recs);
         stats.merge(&chunk_stats);
         kept_bytes += chunk_bytes;
     }
+    emit_decode_spans(
+        registry,
+        &meta.name,
+        bytes.len(),
+        &chunk_records,
+        pool.threads(),
+    );
 
     metrics.records.add(stats.records_read as u64);
     metrics.bytes.add(kept_bytes);
@@ -454,6 +517,54 @@ mod tests {
             assert_eq!(par_stats, seq_stats, "threads={threads}");
             assert_eq!(par_stats.skipped_oversize, 1);
         }
+    }
+
+    #[test]
+    fn decode_spans_carry_deterministic_trace_context() {
+        let trace = trace_with(40);
+        let bytes = encode(&trace);
+        let reg = obs::Registry::new();
+        let (out, _) = read_trace_lossy_parallel_in(&bytes, 4, &reg);
+        assert_eq!(out.records.len(), 40);
+
+        let events = reg.events().snapshot();
+        let spans: Vec<_> = events.iter().filter(|e| e.name == "decode_span").collect();
+        assert!(spans.len() >= 2, "one root plus at least one chunk span");
+
+        let expect_trace =
+            TraceId::derive(seed_from_name(&trace.meta.name), bytes.len() as u64).to_hex();
+        for e in &spans {
+            let tid = e
+                .fields
+                .iter()
+                .find(|(k, _)| *k == "trace_id")
+                .and_then(|(_, v)| match v {
+                    FieldValue::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .expect("trace_id field");
+            assert_eq!(tid, expect_trace, "all decode spans share the trace id");
+        }
+        // Chunk spans name the root as parent.
+        let root = SpanId::derive(
+            TraceId::derive(seed_from_name(&trace.meta.name), bytes.len() as u64),
+            "decode",
+        )
+        .to_hex();
+        let chunk_parents: Vec<_> = spans
+            .iter()
+            .filter_map(|e| {
+                e.fields
+                    .iter()
+                    .find(|(k, _)| *k == "parent_id")
+                    .and_then(|(_, v)| match v {
+                        FieldValue::Str(s) => Some(s.clone()),
+                        _ => None,
+                    })
+            })
+            .collect();
+        assert!(!chunk_parents.is_empty());
+        assert!(chunk_parents.iter().all(|p| *p == root));
     }
 
     #[test]

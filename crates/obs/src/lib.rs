@@ -24,10 +24,11 @@
 //!    suite measures the instrumentation overhead against an
 //!    uninstrumented baseline.
 //!
-//! Two snapshot-consistent sinks render a [`Registry`]:
-//! [`Registry::render_prometheus`] (text exposition, see [`prometheus`])
-//! and [`Registry::events_ndjson`] (the structured span/event log, see
-//! [`events`]).
+//! Three snapshot-consistent sinks render a [`Registry`]:
+//! [`Registry::render_prometheus`] (text exposition, see [`prometheus`]),
+//! [`Registry::events_ndjson`] (the structured span/event log, see
+//! [`events`]), and [`Registry::traces_ndjson`] (per-request verdict
+//! provenance collected under the deterministic sampler, see [`trace`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,12 +38,14 @@ pub mod metric;
 pub mod prometheus;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use events::{Event, EventLog, FieldValue};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use prometheus::validate_exposition;
 pub use registry::{MetricKey, Registry, SampleValue, Snapshot};
 pub use span::Span;
+pub use trace::{SampleCause, Sampler, SpanId, TraceId, TraceLog};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -4,6 +4,7 @@
 use crate::events::{Event, EventLog, FieldValue};
 use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::span::Span;
+use crate::trace::TraceLog;
 use std::collections::HashMap;
 use std::sync::RwLock;
 use std::time::Instant;
@@ -128,6 +129,7 @@ pub struct Registry {
     start: Instant,
     metrics: RwLock<HashMap<MetricKey, MetricEntry>>,
     events: EventLog,
+    traces: TraceLog,
 }
 
 impl Default for Registry {
@@ -143,6 +145,7 @@ impl Registry {
             start: Instant::now(),
             metrics: RwLock::new(HashMap::new()),
             events: EventLog::default(),
+            traces: TraceLog::default(),
         }
     }
 
@@ -245,6 +248,12 @@ impl Registry {
         &self.events
     }
 
+    /// The verdict-provenance trace log (pre-rendered NDJSON lines,
+    /// pushed in deterministic record order by the pipeline).
+    pub fn traces(&self) -> &TraceLog {
+        &self.traces
+    }
+
     /// A deterministic (sorted) point-in-time copy of all metrics.
     pub fn snapshot(&self) -> Snapshot {
         let map = self.metrics.read().expect("registry");
@@ -272,6 +281,11 @@ impl Registry {
     /// Render the event log as NDJSON.
     pub fn events_ndjson(&self) -> String {
         self.events.render_ndjson()
+    }
+
+    /// Render the verdict-provenance trace log as NDJSON.
+    pub fn traces_ndjson(&self) -> String {
+        self.traces.render_ndjson()
     }
 }
 

@@ -22,9 +22,15 @@ fn disabled_recording_is_a_no_op() {
         s.count("records", 5);
     }
     r.event("noop", vec![]);
+    // The tracer's sampler sits behind the same switch: even a
+    // sample-everything sampler selects nothing while disabled.
+    let sampler = obs::trace::Sampler::new(obs::trace::PPM as u32);
+    assert!(!sampler.is_active(), "sampler off while disabled");
+    assert!(!sampler.head_sample(obs::trace::TraceId::derive(1, 1)));
 
     obs::set_enabled(true);
     c.add(1);
+    assert!(sampler.is_active(), "sampler back on with the switch");
 
     let snap = r.snapshot();
     assert_eq!(

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <id>... [--scale small|medium|large] [--seed N] [--threads N]
+//! experiments explain --url <u> [--trace <file>]
 //!
 //! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
 //!      fig6 sec73 sec81 table5 fig7 sensitivity validation robustness all
@@ -10,8 +11,13 @@
 //! `--threads` sets the worker count for the sharded classification
 //! stage (default: this machine's available parallelism). Results are
 //! byte-identical at every thread count — only wall-clock changes.
+//!
+//! `explain` prints the verdict-provenance decision tree for one URL —
+//! matched rule and source list, referrer chain, content-type inference
+//! path — and exports the provenance NDJSON (see `explain.rs`).
 
 mod experiments;
+mod explain;
 mod world;
 
 use std::io::Write;
@@ -19,6 +25,11 @@ use world::{Scale, World};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `explain` has its own flag grammar (`--url` is not an experiment
+    // id), so it branches before the generic argument loop.
+    if args.first().map(String::as_str) == Some("explain") {
+        explain::run(&args[1..]);
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Medium;
     let mut seed: u64 = 0x5eed;
