@@ -37,14 +37,35 @@ grep -q "trace: VALID" <<<"$explain_out"
 grep -q "verdict: whitelisted" <<<"$explain_out"
 test -s target/experiments/explain_trace.ndjson
 
-echo "==> cargo bench (gated: trace_io, pipeline, trace_overhead)"
+echo "==> experiments serve smoke test (live scrape gate)"
+rm -f target/experiments/serve.port
+./target/release/experiments serve --port 0 --port-file target/experiments/serve.port \
+  --scale small &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s target/experiments/serve.port ] && break
+  sleep 0.1
+done
+test -s target/experiments/serve.port
+SERVE_PORT="$(cat target/experiments/serve.port)"
+healthz="$(./target/release/experiments fetch --port "$SERVE_PORT" --path /healthz --retries 20)"
+grep -q '"status":"ok"' <<<"$healthz"
+./target/release/experiments fetch --port "$SERVE_PORT" --path /metrics --retries 20 \
+  --check-metrics >target/experiments/serve_metrics.prom
+grep -q '^obs_serve_starts_total ' target/experiments/serve_metrics.prom
+./target/release/experiments fetch --port "$SERVE_PORT" --path /quitz >/dev/null
+wait "$SERVE_PID"
+
+echo "==> cargo bench (gated: trace_io, pipeline, trace_overhead, window_overhead)"
 rm -f BENCH_latest.json
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_io
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench pipeline
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_overhead
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench window_overhead
 
-echo "==> bench_gate (regression + tracing overhead)"
-cargo run --release -q -p bench --bin bench_gate -- BENCH_baseline.json BENCH_latest.json
+echo "==> bench_gate (regression + tracing/windowing overhead)"
+cargo run --release -q -p bench --bin bench_gate -- BENCH_baseline.json BENCH_latest.json \
+  --stamp "$(git rev-parse --short HEAD 2>/dev/null || echo local)"
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

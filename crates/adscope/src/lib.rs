@@ -40,6 +40,7 @@ pub mod provenance;
 pub mod refmap;
 pub mod shard;
 pub mod users;
+pub mod window;
 
 pub use classify::{AdLabel, Attribution, ListKind, PassiveClassifier};
 pub use degrade::DegradationReport;
@@ -47,3 +48,4 @@ pub use pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
 pub use provenance::{TraceOptions, Tracer, VerdictProvenance};
 pub use shard::{classify_trace_sharded, classify_trace_sharded_in};
 pub use users::{UserAggregate, UserKey};
+pub use window::WindowOptions;

@@ -7,6 +7,7 @@ use crate::extract::{extract, extract_with_report, WebObject};
 use crate::normalize::UrlNormalizer;
 use crate::provenance::{self, RecordMeta, TraceOptions, Tracer, VerdictProvenance};
 use crate::refmap::{RefMap, RefMapOptions};
+use crate::window::WindowOptions;
 use http_model::{ContentCategory, Url};
 use netsim::record::{TlsConnection, Trace, TraceMeta};
 use std::collections::HashMap;
@@ -23,6 +24,9 @@ pub struct PipelineOptions {
     pub normalize: bool,
     /// Verdict-provenance tracing (off by default).
     pub trace: TraceOptions,
+    /// Windowed time-series aggregation (on by default; see
+    /// [`crate::window`]).
+    pub window: WindowOptions,
 }
 
 impl Default for PipelineOptions {
@@ -32,6 +36,7 @@ impl Default for PipelineOptions {
             content: ContentOptions::default(),
             normalize: true,
             trace: TraceOptions::default(),
+            window: WindowOptions::default(),
         }
     }
 }
@@ -88,6 +93,11 @@ pub struct ClassifiedTrace {
     /// Verdict provenance of sampled requests, in record order. Empty
     /// unless [`PipelineOptions::trace`] enables the tracer.
     pub provenance: Vec<VerdictProvenance>,
+    /// Windowed time series over the classified requests (empty when
+    /// [`PipelineOptions::window`] is disabled). A pure function of
+    /// `requests`, so it is byte-identical between sequential and
+    /// sharded runs.
+    pub windows: obs::window::WindowReport,
 }
 
 impl ClassifiedTrace {
@@ -285,6 +295,19 @@ pub fn classify_trace_in(
     }
     provenance::publish(&provenance, registry);
 
+    // Stage: windowed aggregation over the final request vector.
+    let windows = if opts.window.enabled {
+        let mut span = registry.span_with("adscope_stage", &[("stage", "window")]);
+        span.count("records_in", requests.len() as u64);
+        let windows = crate::window::aggregate(&requests, opts.window);
+        span.count("windows_out", windows.windows.len() as u64);
+        drop(span);
+        crate::window::publish(&windows, registry);
+        windows
+    } else {
+        obs::window::WindowReport::default()
+    };
+
     ClassifiedTrace {
         meta: trace.meta.clone(),
         requests,
@@ -292,6 +315,7 @@ pub fn classify_trace_in(
         dropped,
         degradation,
         provenance,
+        windows,
     }
 }
 

@@ -336,6 +336,21 @@ pub fn classify_trace_sharded_in(
     }
     provenance::publish(&provenance, registry);
 
+    // Windowed aggregation runs over the merged, globally-ordered
+    // request vector — the same input the sequential path feeds the same
+    // helper — so the report is byte-identical at any thread count.
+    let windows = if opts.window.enabled {
+        let mut span = registry.span_with("adscope_stage", &[("stage", "window")]);
+        span.count("records_in", requests.len() as u64);
+        let windows = crate::window::aggregate(&requests, opts.window);
+        span.count("windows_out", windows.windows.len() as u64);
+        drop(span);
+        crate::window::publish(&windows, registry);
+        windows
+    } else {
+        obs::window::WindowReport::default()
+    };
+
     ClassifiedTrace {
         meta: trace.meta.clone(),
         requests,
@@ -343,6 +358,7 @@ pub fn classify_trace_sharded_in(
         dropped,
         degradation,
         provenance,
+        windows,
     }
 }
 

@@ -135,6 +135,7 @@ fn assert_equivalent(trace: &Trace, opts: PipelineOptions) {
         assert_eq!(par.dropped, seq.dropped, "threads={threads}");
         assert_eq!(par.https_flows, seq.https_flows, "threads={threads}");
         assert_eq!(par.meta, seq.meta, "threads={threads}");
+        assert_eq!(par.windows, seq.windows, "windows, threads={threads}");
     }
 }
 

@@ -1,7 +1,7 @@
 //! Benchmark regression gate.
 //!
 //! ```text
-//! bench_gate [<baseline.json> [<latest.json>]]
+//! bench_gate [<baseline.json> [<latest.json>]] [--stamp S] [--history PATH]
 //! ```
 //!
 //! Reads two `BENCH_JSON` NDJSON files (default `BENCH_baseline.json`
@@ -15,7 +15,16 @@
 //!    run (`trace_overhead/sharded_ppm_10000` vs `sharded_ppm_0`) and
 //!    fails when 1% sampling costs more than 15% — a lenient ceiling
 //!    over the 5% design budget, so CI-machine noise doesn't flake the
-//!    build while a real regression still trips it.
+//!    build while a real regression still trips it;
+//! 3. computes the windowed-metrics overhead the same way
+//!    (`window_overhead/sharded_windows_on` vs `sharded_windows_off`)
+//!    against the same 15% ceiling over the 5% design budget.
+//!
+//! Every run appends one NDJSON line of its results to a history file
+//! (default `BENCH_history.ndjson`, committed, so the perf record
+//! travels with the repo). The line is stamped with `--stamp` —
+//! typically the short commit hash — never with in-process wall-clock,
+//! keeping the gate itself deterministic and replayable.
 //!
 //! The compared statistic is `low_ns` — the best observed sample, not
 //! the median. On a loaded CI box, interference only ever *adds* time,
@@ -28,6 +37,7 @@
 //! baselines produced by older or newer bench sets.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::process::exit;
 
 /// Gated benchmarks: (group, name, allowed latest/baseline ratio).
@@ -36,8 +46,24 @@ const GATES: [(&str, &str, f64); 2] = [
     ("pipeline", "full_pipeline_sharded", 1.20),
 ];
 
-/// Ceiling for trace_overhead/sharded_ppm_10000 over sharded_ppm_0.
-const TRACE_OVERHEAD_CEILING: f64 = 1.15;
+/// Self-relative overhead gates within the latest run:
+/// (group, on-name, off-name, label, ceiling).
+const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 2] = [
+    (
+        "trace_overhead",
+        "sharded_ppm_10000",
+        "sharded_ppm_0",
+        "1% sampling",
+        1.15,
+    ),
+    (
+        "window_overhead",
+        "sharded_windows_on",
+        "sharded_windows_off",
+        "hourly windowing",
+        1.15,
+    ),
+];
 
 fn load(path: &str) -> HashMap<(String, String), f64> {
     let text = match std::fs::read_to_string(path) {
@@ -69,13 +95,95 @@ fn load(path: &str) -> HashMap<(String, String), f64> {
     lows
 }
 
+/// One check's outcome, kept for the history line.
+struct Check {
+    name: String,
+    base_ns: f64,
+    latest_ns: f64,
+    ceiling: f64,
+    ok: bool,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the run as one NDJSON history line (parseable by
+/// `netsim::json`, like every other artifact in the workspace).
+fn history_line(stamp: &str, passed: bool, checks: &[Check]) -> String {
+    let mut line = format!(
+        "{{\"event\":\"bench_gate\",\"stamp\":\"{}\",\"passed\":{},\"checks\":[",
+        json_escape(stamp),
+        passed
+    );
+    for (i, c) in checks.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(
+            line,
+            "{{\"check\":\"{}\",\"base_ns\":{},\"latest_ns\":{},\"ratio\":{:.4},\"ceiling\":{},\"ok\":{}}}",
+            json_escape(&c.name),
+            c.base_ns,
+            c.latest_ns,
+            if c.base_ns > 0.0 { c.latest_ns / c.base_ns } else { 0.0 },
+            c.ceiling,
+            c.ok
+        );
+    }
+    line.push_str("]}");
+    line
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let baseline_path = args
+    let mut positional: Vec<String> = Vec::new();
+    let mut stamp = String::from("unstamped");
+    let mut history_path = String::from("BENCH_history.ndjson");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stamp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => stamp = s.clone(),
+                    None => {
+                        eprintln!("bench_gate: --stamp requires a value");
+                        exit(1);
+                    }
+                }
+            }
+            "--history" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => history_path = s.clone(),
+                    None => {
+                        eprintln!("bench_gate: --history requires a value");
+                        exit(1);
+                    }
+                }
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let baseline_path = positional
         .first()
         .map(String::as_str)
         .unwrap_or("BENCH_baseline.json");
-    let latest_path = args
+    let latest_path = positional
         .get(1)
         .map(String::as_str)
         .unwrap_or("BENCH_latest.json");
@@ -83,6 +191,7 @@ fn main() {
     let baseline = load(baseline_path);
     let latest = load(latest_path);
     let mut failed = false;
+    let mut checks: Vec<Check> = Vec::new();
 
     for (group, name, ceiling) in GATES {
         let key = (group.to_string(), name.to_string());
@@ -98,7 +207,8 @@ fn main() {
             continue;
         };
         let ratio = new / old;
-        let verdict = if ratio > ceiling { "FAIL" } else { "ok" };
+        let ok = ratio <= ceiling;
+        let verdict = if ok { "ok" } else { "FAIL" };
         println!(
             "bench_gate: {verdict} {group}/{name}: {:.2}ms -> {:.2}ms ({:+.1}%, ceiling {:+.0}%)",
             old / 1e6,
@@ -106,41 +216,78 @@ fn main() {
             (ratio - 1.0) * 100.0,
             (ceiling - 1.0) * 100.0,
         );
-        if ratio > ceiling {
+        checks.push(Check {
+            name: format!("{group}/{name}"),
+            base_ns: old,
+            latest_ns: new,
+            ceiling,
+            ok,
+        });
+        if !ok {
             failed = true;
         }
     }
 
-    // Tracing overhead, measured within the latest run (self-relative,
-    // so machine speed cancels out).
-    let off = latest.get(&("trace_overhead".to_string(), "sharded_ppm_0".to_string()));
-    let on = latest.get(&(
-        "trace_overhead".to_string(),
-        "sharded_ppm_10000".to_string(),
-    ));
-    match (off, on) {
-        (Some(&off), Some(&on)) if off > 0.0 => {
-            let ratio = on / off;
-            let verdict = if ratio > TRACE_OVERHEAD_CEILING {
-                "FAIL"
-            } else {
-                "ok"
-            };
-            println!(
-                "bench_gate: {verdict} trace_overhead: 1% sampling costs {:+.1}% \
-                 ({:.2}ms -> {:.2}ms, ceiling {:+.0}%)",
-                (ratio - 1.0) * 100.0,
-                off / 1e6,
-                on / 1e6,
-                (TRACE_OVERHEAD_CEILING - 1.0) * 100.0,
-            );
-            if ratio > TRACE_OVERHEAD_CEILING {
+    // Instrumentation overheads, measured within the latest run
+    // (self-relative, so machine speed cancels out). Missing pairs fail:
+    // an overhead we stopped measuring is an overhead we stopped
+    // bounding.
+    for (group, on_name, off_name, label, ceiling) in OVERHEAD_GATES {
+        let off = latest.get(&(group.to_string(), off_name.to_string()));
+        let on = latest.get(&(group.to_string(), on_name.to_string()));
+        match (off, on) {
+            (Some(&off), Some(&on)) if off > 0.0 => {
+                let ratio = on / off;
+                let ok = ratio <= ceiling;
+                let verdict = if ok { "ok" } else { "FAIL" };
+                println!(
+                    "bench_gate: {verdict} {group}: {label} costs {:+.1}% \
+                     ({:.2}ms -> {:.2}ms, ceiling {:+.0}%)",
+                    (ratio - 1.0) * 100.0,
+                    off / 1e6,
+                    on / 1e6,
+                    (ceiling - 1.0) * 100.0,
+                );
+                checks.push(Check {
+                    name: format!("{group}/{on_name}:{off_name}"),
+                    base_ns: off,
+                    latest_ns: on,
+                    ceiling,
+                    ok,
+                });
+                if !ok {
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!(
+                    "bench_gate: FAIL {group}: {off_name}/{on_name} missing from {latest_path}"
+                );
                 failed = true;
             }
         }
-        _ => {
-            eprintln!("bench_gate: FAIL trace_overhead: sharded_ppm_0/sharded_ppm_10000 missing from {latest_path}");
-            failed = true;
+    }
+
+    // Append the run to the committed history (best-effort: a read-only
+    // checkout must not turn a perf pass into a build failure).
+    let line = history_line(&stamp, !failed, &checks);
+    match netsim::json::parse(&line) {
+        Ok(_) => {
+            use std::io::Write;
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&history_path)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            match appended {
+                Ok(()) => println!("bench_gate: history appended to {history_path} ({stamp})"),
+                Err(e) => eprintln!("bench_gate: cannot append {history_path}: {e}"),
+            }
+        }
+        Err(e) => {
+            // Unreachable by construction; a corrupt line must never
+            // poison the committed history.
+            eprintln!("bench_gate: internal: history line does not parse: {e}");
         }
     }
 

@@ -572,6 +572,69 @@ impl ReaderMetrics {
     }
 }
 
+/// The decode-side window schema: per-window record/protocol/byte series
+/// keyed on each record's trace timestamp. One instance per decode unit
+/// (the whole stream sequentially, one chunk in the parallel readers).
+///
+/// The watermark is infinite, so windowing here is **order-insensitive**:
+/// chunk partials merged with [`obs::WindowReport::merge`] equal the
+/// whole-stream report regardless of how the chunk boundaries fell —
+/// the property that lets the parallel readers window per chunk and
+/// merge at the scatter-merge point.
+#[derive(Debug)]
+pub struct DecodeWindows {
+    engine: obs::WindowEngine,
+    c_records: obs::window::CounterId,
+    c_http: obs::window::CounterId,
+    c_https: obs::window::CounterId,
+    c_bytes: obs::window::CounterId,
+}
+
+impl DecodeWindows {
+    /// An engine over `width_secs` windows (an hour by default via
+    /// [`DecodeWindows::hourly`]).
+    pub fn new(width_secs: f64) -> DecodeWindows {
+        let mut engine = obs::WindowEngine::new(obs::WindowConfig {
+            width_secs,
+            watermark_secs: f64::INFINITY,
+        });
+        DecodeWindows {
+            c_records: engine.counter_series("records"),
+            c_http: engine.counter_series("http"),
+            c_https: engine.counter_series("https"),
+            c_bytes: engine.counter_series("bytes"),
+            engine,
+        }
+    }
+
+    /// Hour-wide windows, matching the adscope series granularity.
+    pub fn hourly() -> DecodeWindows {
+        DecodeWindows::new(3600.0)
+    }
+
+    /// Window one decoded record by its trace timestamp.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        let ts = rec.ts();
+        self.engine.count(ts, self.c_records, 1);
+        match rec {
+            TraceRecord::Http(tx) => {
+                self.engine.count(ts, self.c_http, 1);
+                self.engine
+                    .count(ts, self.c_bytes, tx.response.content_length.unwrap_or(0));
+            }
+            TraceRecord::Https(conn) => {
+                self.engine.count(ts, self.c_https, 1);
+                self.engine.count(ts, self.c_bytes, conn.bytes);
+            }
+        }
+    }
+
+    /// Close all windows and return the report.
+    pub fn finish(self) -> obs::WindowReport {
+        self.engine.finish()
+    }
+}
+
 /// A streaming, loss-tolerant trace reader.
 ///
 /// Yields every record it can decode and resyncs at the next newline

@@ -22,7 +22,7 @@
 
 use crate::codec::{
     decode_header, decode_line_lossy, decode_record, recovered_meta, CodecError, CodecStats,
-    LossyLine, ReaderMetrics, MAX_LINE_BYTES,
+    DecodeWindows, LossyLine, ReaderMetrics, MAX_LINE_BYTES,
 };
 use crate::json;
 use crate::record::{Trace, TraceRecord};
@@ -71,6 +71,37 @@ fn emit_decode_spans(
             ],
         );
     }
+}
+
+/// Window one chunk's decoded records (hour-wide buckets on the trace
+/// clock). Infinite watermark makes the partial order-insensitive, so
+/// the input-order merge below reproduces the whole-stream report for
+/// any chunk layout — the decode-side half of the window determinism
+/// contract.
+fn chunk_windows(records: &[TraceRecord]) -> obs::WindowReport {
+    let mut w = DecodeWindows::hourly();
+    for rec in records {
+        w.observe(rec);
+    }
+    w.finish()
+}
+
+/// Merge per-chunk window partials in input order and publish the result
+/// into the registry's window log under the `decode` scope.
+fn merge_and_publish_windows(registry: &obs::Registry, partials: Vec<obs::WindowReport>) {
+    let mut merged = obs::WindowReport::default();
+    for p in &partials {
+        merged.merge(p);
+    }
+    if merged.windows.is_empty() {
+        return;
+    }
+    for line in merged.render_ndjson("decode").lines() {
+        registry.windows().push(line.to_string());
+    }
+    registry
+        .counter("netsim_decode_windows_closed_total")
+        .add(merged.windows.len() as u64);
 }
 
 /// Iterate the lines of `bytes` (excluding the `\n` terminators). A
@@ -161,7 +192,7 @@ pub fn read_trace_parallel(bytes: &[u8], threads: usize) -> Result<Trace, CodecE
     // Each worker returns its decoded records plus its line count, so
     // absolute line numbers reconstruct exactly: the header is line 1,
     // chunk c's first line is 2 + Σ lines(chunks[..c]).
-    type ChunkOut = Result<(Vec<TraceRecord>, usize), (usize, String)>;
+    type ChunkOut = Result<(Vec<TraceRecord>, usize, Option<obs::WindowReport>), (usize, String)>;
     let outs: Vec<ChunkOut> = pool.map(chunks, |_, chunk| {
         let mut records = Vec::new();
         let mut line_count = 0usize;
@@ -178,18 +209,21 @@ pub fn read_trace_parallel(bytes: &[u8], threads: usize) -> Result<Trace, CodecE
             let rec = decode_record(&value).map_err(|e| (line_count, e))?;
             records.push(rec);
         }
-        Ok((records, line_count))
+        let windows = obs::enabled().then(|| chunk_windows(&records));
+        Ok((records, line_count, windows))
     });
 
     let mut records = Vec::new();
     let mut lines_before = 0usize;
     let mut chunk_records: Vec<u64> = Vec::new();
+    let mut window_partials: Vec<obs::WindowReport> = Vec::new();
     for out in outs {
         match out {
-            Ok((mut recs, line_count)) => {
+            Ok((mut recs, line_count, windows)) => {
                 chunk_records.push(recs.len() as u64);
                 records.append(&mut recs);
                 lines_before += line_count;
+                window_partials.extend(windows);
             }
             Err((relative_line, error)) => {
                 return Err(CodecError::BadRecord {
@@ -206,6 +240,7 @@ pub fn read_trace_parallel(bytes: &[u8], threads: usize) -> Result<Trace, CodecE
         &chunk_records,
         pool.threads(),
     );
+    merge_and_publish_windows(registry, window_partials);
 
     span.count("records", records.len() as u64);
     span.count("bytes", bytes.len() as u64);
@@ -234,6 +269,7 @@ struct LossyChunk {
     records: Vec<TraceRecord>,
     stats: CodecStats,
     kept_bytes: u64,
+    windows: Option<obs::WindowReport>,
 }
 
 /// Lossy parallel read: the parallel counterpart of
@@ -289,6 +325,7 @@ pub fn read_trace_lossy_parallel_in(
             records: Vec::new(),
             stats: CodecStats::default(),
             kept_bytes: 0,
+            windows: None,
         };
         for line in lines(chunk) {
             match decode_line_lossy(line, line.len() > MAX_LINE_BYTES) {
@@ -304,22 +341,26 @@ pub fn read_trace_lossy_parallel_in(
                 LossyLine::Oversize => out.stats.skipped_oversize += 1,
             }
         }
+        out.windows = obs::enabled().then(|| chunk_windows(&out.records));
         out
     });
 
     let mut records = Vec::new();
     let mut kept_bytes = 0u64;
     let mut chunk_records: Vec<u64> = Vec::new();
+    let mut window_partials: Vec<obs::WindowReport> = Vec::new();
     for chunk in outs {
         let LossyChunk {
             records: mut recs,
             stats: chunk_stats,
             kept_bytes: chunk_bytes,
+            windows,
         } = chunk;
         chunk_records.push(recs.len() as u64);
         records.append(&mut recs);
         stats.merge(&chunk_stats);
         kept_bytes += chunk_bytes;
+        window_partials.extend(windows);
     }
     emit_decode_spans(
         registry,
@@ -328,6 +369,7 @@ pub fn read_trace_lossy_parallel_in(
         &chunk_records,
         pool.threads(),
     );
+    merge_and_publish_windows(registry, window_partials);
 
     metrics.records.add(stats.records_read as u64);
     metrics.bytes.add(kept_bytes);
@@ -565,6 +607,37 @@ mod tests {
             .collect();
         assert!(!chunk_parents.is_empty());
         assert!(chunk_parents.iter().all(|p| *p == root));
+    }
+
+    #[test]
+    fn decode_windows_identical_across_thread_counts() {
+        let trace = trace_with(300);
+        let bytes = encode(&trace);
+        // Baseline: window the sequentially-decoded records directly.
+        let mut whole = DecodeWindows::hourly();
+        for rec in &trace.records {
+            whole.observe(rec);
+        }
+        let want = whole.finish().render_ndjson("decode");
+        assert!(!want.is_empty());
+        for threads in [1usize, 2, 4, 8] {
+            let reg = obs::Registry::new();
+            let (out, _) = read_trace_lossy_parallel_in(&bytes, threads, &reg);
+            assert_eq!(out.records.len(), 300);
+            let got = reg
+                .windows()
+                .snapshot()
+                .iter()
+                .map(|l| format!("{l}\n"))
+                .collect::<String>();
+            assert_eq!(got, want, "decode windows, threads={threads}");
+            assert!(
+                reg.snapshot()
+                    .counter("netsim_decode_windows_closed_total", &[])
+                    > 0,
+                "closed-window counter recorded"
+            );
+        }
     }
 
     #[test]

@@ -35,17 +35,23 @@
 
 pub mod events;
 pub mod metric;
+pub mod profile;
 pub mod prometheus;
 pub mod registry;
+pub mod serve;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use events::{Event, EventLog, FieldValue};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
-pub use prometheus::validate_exposition;
+pub use profile::{NodeStats, ProfileStore};
+pub use prometheus::{escape_label, unescape_label, validate_exposition};
 pub use registry::{MetricKey, Registry, SampleValue, Snapshot};
+pub use serve::{serve, ServerHandle};
 pub use span::Span;
 pub use trace::{SampleCause, Sampler, SpanId, TraceId, TraceLog};
+pub use window::{ClosedWindow, WindowConfig, WindowEngine, WindowReport};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -1,0 +1,292 @@
+//! Zero-dependency per-stage profiler: hierarchical wall-time
+//! attribution built on the existing [`crate::span::Span`] RAII type.
+//!
+//! Every span that starts while recording is enabled pushes a frame onto
+//! a thread-local stack; when it finishes, the frame pops and its wall
+//! time is attributed to a **path** — the `;`-joined chain of enclosing
+//! span names on the same registry (the collapsed-stack convention
+//! flamegraph tools consume). Two numbers accrue per path:
+//!
+//! * **total** — wall time between start and finish, and
+//! * **self** — total minus the time spent in child spans, i.e. the time
+//!   this stage itself burned.
+//!
+//! Attribution is per-thread (spans never migrate threads here) and
+//! per-registry: frames carry their registry's address, so a hermetic
+//! test registry profiling in the same thread as the global one never
+//! cross-contaminates paths. Spans on different registries interleave
+//! transparently — each sees only its own ancestry.
+//!
+//! Two expositions, both deterministic up to the measured times:
+//! [`ProfileStore::render_folded`] emits `path self_ns` lines (written to
+//! `target/experiments/profile.folded` by the experiments binary, served
+//! at `/profile`), and [`ProfileStore::render_table`] prints a
+//! calls/total/self table sorted by total time.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Accumulated timing for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// How many spans completed on this path.
+    pub calls: u64,
+    /// Wall nanoseconds between start and finish, summed.
+    pub total_ns: u64,
+    /// Total minus time spent in child spans.
+    pub self_ns: u64,
+}
+
+/// Per-registry profile accumulator (lives on the [`Registry`]).
+#[derive(Debug, Default)]
+pub struct ProfileStore {
+    nodes: Mutex<HashMap<String, NodeStats>>,
+}
+
+impl ProfileStore {
+    /// Fold one finished span into the store.
+    pub fn record(&self, path: &str, total_ns: u64, self_ns: u64) {
+        let mut nodes = self.nodes.lock().expect("profile store");
+        let s = nodes.entry(path.to_string()).or_default();
+        s.calls += 1;
+        s.total_ns += total_ns;
+        s.self_ns += self_ns;
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.lock().expect("profile store").is_empty()
+    }
+
+    /// All `(path, stats)` pairs, sorted by path.
+    pub fn snapshot(&self) -> Vec<(String, NodeStats)> {
+        let mut v: Vec<(String, NodeStats)> = self
+            .nodes
+            .lock()
+            .expect("profile store")
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|(a, _), (b, _)| a.cmp(b));
+        v
+    }
+
+    /// Flame-style collapsed stacks: one `path self_ns` line per path,
+    /// sorted by path (stable input for `flamegraph.pl`-family tools).
+    pub fn render_folded(&self) -> String {
+        let mut out = String::new();
+        for (path, s) in self.snapshot() {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&s.self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable self/total table, heaviest total time first (ties
+    /// break by path, so equal-cost rows are stable).
+    pub fn render_table(&self) -> String {
+        let mut rows = self.snapshot();
+        rows.sort_by(|(ap, a), (bp, b)| b.total_ns.cmp(&a.total_ns).then_with(|| ap.cmp(bp)));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>10}  {:>12}  {:>12}  path\n",
+            "calls", "total_ms", "self_ms"
+        ));
+        for (path, s) in rows {
+            out.push_str(&format!(
+                "{:>10}  {:>12.3}  {:>12.3}  {path}\n",
+                s.calls,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6,
+            ));
+        }
+        out
+    }
+}
+
+/// One in-flight span on this thread's stack.
+struct Frame {
+    /// Owning registry's address — the ancestry discriminator.
+    reg: usize,
+    /// Unique (per thread) handle the owning span holds.
+    token: u64,
+    /// Collapsed path down to and including this span.
+    path: String,
+    /// Wall time already attributed to finished children.
+    child_ns: u64,
+}
+
+thread_local! {
+    /// (next token, active frames). Tokens are per-thread and never
+    /// reused, so a stale pop can only miss, not corrupt.
+    static STACK: RefCell<(u64, Vec<Frame>)> = const { RefCell::new((0, Vec::new())) };
+}
+
+/// Build one path element from a span's name and labels. `;` separates
+/// stack frames in the folded format, so it is rewritten inside
+/// elements.
+fn element(name: &str, labels: &[(String, String)]) -> String {
+    let mut e = String::with_capacity(name.len());
+    e.push_str(name);
+    if !labels.is_empty() {
+        e.push('[');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                e.push(',');
+            }
+            e.push_str(k);
+            e.push('=');
+            e.push_str(v);
+        }
+        e.push(']');
+    }
+    if e.contains(';') {
+        e = e.replace(';', ":");
+    }
+    e
+}
+
+/// Called by [`crate::span::Span`] on start (only while enabled).
+/// Returns the token the span passes back on finish; 0 is never issued.
+pub(crate) fn push_frame(registry: &Registry, name: &str, labels: &[(String, String)]) -> u64 {
+    let reg = registry as *const Registry as usize;
+    STACK.with(|s| {
+        let (next, stack) = &mut *s.borrow_mut();
+        *next += 1;
+        let token = *next;
+        let elem = element(name, labels);
+        let path = match stack.iter().rev().find(|f| f.reg == reg) {
+            Some(parent) => {
+                let mut p = String::with_capacity(parent.path.len() + 1 + elem.len());
+                p.push_str(&parent.path);
+                p.push(';');
+                p.push_str(&elem);
+                p
+            }
+            None => elem,
+        };
+        stack.push(Frame {
+            reg,
+            token,
+            path,
+            child_ns: 0,
+        });
+        token
+    })
+}
+
+/// Called by [`crate::span::Span`] on finish with the token from
+/// [`push_frame`]. Pops the frame (tolerating non-LIFO ends), attributes
+/// total time to the enclosing frame's children, and records the path.
+pub(crate) fn pop_frame(registry: &Registry, token: u64, total_ns: u64) {
+    let reg = registry as *const Registry as usize;
+    let frame = STACK.with(|s| {
+        let (_, stack) = &mut *s.borrow_mut();
+        let pos = stack.iter().rposition(|f| f.token == token)?;
+        let frame = stack.remove(pos);
+        if let Some(parent) = stack[..pos].iter_mut().rev().find(|f| f.reg == reg) {
+            parent.child_ns += total_ns;
+        }
+        Some(frame)
+    });
+    if let Some(frame) = frame {
+        let self_ns = total_ns.saturating_sub(frame.child_ns);
+        registry.profile().record(&frame.path, total_ns, self_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths_and_attributes_self_time() {
+        let r = Registry::new();
+        {
+            let _outer = r.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = r.span_with("inner", &[("stage", "x")]);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = r.profile().snapshot();
+        let paths: Vec<&str> = snap.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer;inner[stage=x]"]);
+        let outer = snap.iter().find(|(p, _)| p == "outer").unwrap().1;
+        let inner = snap
+            .iter()
+            .find(|(p, _)| p == "outer;inner[stage=x]")
+            .unwrap()
+            .1;
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert_eq!(inner.total_ns, inner.self_ns, "leaf: self == total");
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns,
+            "child time excluded from parent self time"
+        );
+    }
+
+    #[test]
+    fn registries_do_not_cross_contaminate() {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        {
+            let _a = r1.span("a");
+            let _b = r2.span("b"); // interleaved on the same thread
+            let _c = r1.span("c");
+        }
+        let p1: Vec<String> = r1
+            .profile()
+            .snapshot()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let p2: Vec<String> = r2
+            .profile()
+            .snapshot()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(p1, vec!["a".to_string(), "a;c".to_string()]);
+        assert_eq!(p2, vec!["b".to_string()], "r2 sees no r1 ancestry");
+    }
+
+    #[test]
+    fn folded_and_table_render() {
+        let r = Registry::new();
+        {
+            let _s = r.span("stage");
+        }
+        let folded = r.profile().render_folded();
+        assert!(folded.starts_with("stage "));
+        assert!(folded.ends_with('\n'));
+        let table = r.profile().render_table();
+        assert!(table.contains("path"));
+        assert!(table.contains("stage"));
+    }
+
+    #[test]
+    fn semicolons_in_labels_are_sanitized() {
+        let e = element("n", &[("k".into(), "a;b".into())]);
+        assert_eq!(e, "n[k=a:b]");
+    }
+
+    #[test]
+    fn non_lifo_end_is_tolerated() {
+        let r = Registry::new();
+        let outer = r.span("outer2");
+        let inner = r.span("inner2");
+        outer.end(); // parent ends before child
+        inner.end();
+        let snap = r.profile().snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().any(|(p, _)| p == "outer2"));
+        assert!(snap.iter().any(|(p, _)| p == "outer2;inner2"));
+    }
+}

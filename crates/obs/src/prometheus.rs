@@ -129,7 +129,9 @@ fn write_sample(
     out.push('\n');
 }
 
-fn escape_label(v: &str) -> String {
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label(v: &str) -> String {
     let mut s = String::with_capacity(v.len());
     for c in v.chars() {
         match c {
@@ -137,6 +139,28 @@ fn escape_label(v: &str) -> String {
             '"' => s.push_str("\\\""),
             '\n' => s.push_str("\\n"),
             c => s.push(c),
+        }
+    }
+    s
+}
+
+/// Invert [`escape_label`]. Unknown escape sequences keep their literal
+/// character (matching how Prometheus itself reads them), so this is
+/// total: `unescape_label(escape_label(v)) == v` for every `v`.
+pub fn unescape_label(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            s.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => s.push('\\'),
+            Some('"') => s.push('"'),
+            Some('n') => s.push('\n'),
+            Some(other) => s.push(other),
+            None => s.push('\\'),
         }
     }
     s
@@ -280,6 +304,43 @@ netsim_read_throughput_rps 2.5
         let text = r.render_prometheus();
         let n = validate_exposition(&text).expect("valid exposition");
         assert!(n >= 4, "counter + bucket lines + sum + count, got {n}");
+    }
+
+    #[test]
+    fn label_escaping_round_trips_exactly() {
+        // Every escapable character, plus sequences the naive escaper
+        // gets wrong (trailing backslash, backslash before quote).
+        let values = [
+            "plain",
+            "a\"b\\c\nd",
+            "\\",
+            "\\\\",
+            "\"",
+            "\n\n",
+            "ends with backslash\\",
+            "\\\"mixed\"\\",
+            "unicode → ok",
+            "",
+        ];
+        for v in values {
+            assert_eq!(unescape_label(&escape_label(v)), v, "value {v:?}");
+        }
+
+        // And through a full render: the escaped value sits on one line,
+        // the exposition validates, and parsing the label back out of
+        // the rendered text recovers the original byte-for-byte.
+        let original = "a\"b\\c\nd ends\\";
+        let r = Registry::new();
+        r.counter_with("rt_total", &[("v", original)]).inc();
+        let text = r.render_prometheus();
+        validate_exposition(&text).expect("escaped exposition validates");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("rt_total{"))
+            .expect("sample line present");
+        let start = line.find("v=\"").expect("label present") + 3;
+        let end = line.rfind("\"}").expect("label closes");
+        assert_eq!(unescape_label(&line[start..end]), original);
     }
 
     #[test]

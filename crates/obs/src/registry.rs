@@ -3,6 +3,7 @@
 
 use crate::events::{Event, EventLog, FieldValue};
 use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::profile::ProfileStore;
 use crate::span::Span;
 use crate::trace::TraceLog;
 use std::collections::HashMap;
@@ -130,6 +131,8 @@ pub struct Registry {
     metrics: RwLock<HashMap<MetricKey, MetricEntry>>,
     events: EventLog,
     traces: TraceLog,
+    windows: TraceLog,
+    profile: ProfileStore,
 }
 
 impl Default for Registry {
@@ -146,6 +149,11 @@ impl Registry {
             metrics: RwLock::new(HashMap::new()),
             events: EventLog::default(),
             traces: TraceLog::default(),
+            windows: TraceLog::with_capacity_and_marker(
+                crate::trace::TRACE_LOG_CAPACITY,
+                "windows_dropped",
+            ),
+            profile: ProfileStore::default(),
         }
     }
 
@@ -254,7 +262,23 @@ impl Registry {
         &self.traces
     }
 
+    /// The closed-window log (pre-rendered NDJSON window lines, pushed
+    /// in window order by the pipeline; served at `/windows`).
+    pub fn windows(&self) -> &TraceLog {
+        &self.windows
+    }
+
+    /// The per-stage wall-time profile fed by [`Span`]s.
+    pub fn profile(&self) -> &ProfileStore {
+        &self.profile
+    }
+
     /// A deterministic (sorted) point-in-time copy of all metrics.
+    ///
+    /// Bounded-sink drop counts surface here as synthetic
+    /// `obs_*_dropped_total` counters — but only once non-zero, so
+    /// truncation is visible in `/metrics` without padding every
+    /// snapshot with three zero samples.
     pub fn snapshot(&self) -> Snapshot {
         let map = self.metrics.read().expect("registry");
         let mut samples: Vec<(MetricKey, SampleValue)> = map
@@ -269,6 +293,15 @@ impl Registry {
             })
             .collect();
         drop(map);
+        for (name, dropped) in [
+            ("obs_events_dropped_total", self.events.dropped()),
+            ("obs_traces_dropped_total", self.traces.dropped()),
+            ("obs_windows_dropped_total", self.windows.dropped()),
+        ] {
+            if dropped > 0 {
+                samples.push((MetricKey::new(name, &[]), SampleValue::Counter(dropped)));
+            }
+        }
         samples.sort_by(|(a, _), (b, _)| a.cmp(b));
         Snapshot { samples }
     }
@@ -286,6 +319,11 @@ impl Registry {
     /// Render the verdict-provenance trace log as NDJSON.
     pub fn traces_ndjson(&self) -> String {
         self.traces.render_ndjson()
+    }
+
+    /// Render the closed-window log as NDJSON.
+    pub fn windows_ndjson(&self) -> String {
+        self.windows.render_ndjson()
     }
 }
 

@@ -1,0 +1,329 @@
+//! Std-only live scrape endpoint: a tiny HTTP/1.1 server over
+//! [`std::net::TcpListener`] exposing one [`Registry`].
+//!
+//! Routes:
+//!
+//! * `/metrics`  — Prometheus text exposition (the existing encoder).
+//! * `/healthz`  — liveness JSON (uptime, sink depths).
+//! * `/windows`  — NDJSON of closed time windows (see [`crate::window`]).
+//! * `/profile`  — collapsed-stack profile (see [`crate::profile`]);
+//!   `/profile/table` renders the self/total table instead.
+//! * `/quitz`    — request a clean shutdown (used by the CI smoke test).
+//! * `/`         — a plain-text index of the above.
+//!
+//! One accept loop on one thread, one connection at a time: a scrape
+//! endpoint for a handful of clients, not a web server. The listener is
+//! non-blocking so the loop can observe the shutdown flag within
+//! ~25 ms; [`ServerHandle::join`] sets the flag and joins the thread,
+//! and every response closes its connection (`Connection: close`).
+//!
+//! The registry reference is `&'static`: the intended producers are the
+//! process-global registry ([`crate::global`]) or a deliberately leaked
+//! long-lived one — a scrape server outliving its registry is exactly
+//! the bug this signature makes unrepresentable.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running scrape server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (query it when serving on port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Has shutdown been requested (via [`Self::request_shutdown`] or a
+    /// `/quitz` hit)?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Ask the accept loop to exit after its current connection.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Request shutdown and wait for the accept loop to exit.
+    pub fn join(mut self) {
+        self.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `127.0.0.1:port` (0 picks an ephemeral port) and serve
+/// `registry` until shutdown is requested.
+pub fn serve(registry: &'static Registry, port: u16) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::Builder::new()
+        .name("obs-serve".into())
+        .spawn(move || accept_loop(listener, registry, &flag))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, registry: &'static Registry, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Per-connection failures (client hangup mid-write) must
+                // not take the loop down.
+                let _ = handle(stream, registry, shutdown);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Read the request head (we only need the request line; headers are
+/// drained and discarded). Bounded at 8 KiB — anything larger is not a
+/// scrape request.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<String> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while buf.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    // "GET /path HTTP/1.1" — tolerate a bare "GET /path".
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return Ok(format!("!{method}")); // signals 405 below
+    }
+    // Strip any query string; routes don't take parameters.
+    Ok(path.split('?').next().unwrap_or("/").to_string())
+}
+
+fn handle(
+    mut stream: TcpStream,
+    registry: &'static Registry,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = route(&path, registry, shutdown);
+    // Known routes get a labeled hit counter; everything else folds into
+    // "other" so request paths can't explode metric cardinality.
+    let label = match path.as_str() {
+        "/" | "/metrics" | "/healthz" | "/windows" | "/profile" | "/profile/table" | "/quitz" => {
+            path.as_str()
+        }
+        _ => "other",
+    };
+    registry
+        .counter_with("obs_http_requests_total", &[("path", label)])
+        .inc();
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(
+    path: &str,
+    registry: &'static Registry,
+    shutdown: &AtomicBool,
+) -> (&'static str, &'static str, String) {
+    match path {
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "annoyed-users obs endpoint\n\
+             /metrics        Prometheus text exposition\n\
+             /healthz        liveness JSON\n\
+             /windows        closed time windows (NDJSON)\n\
+             /profile        collapsed-stack profile (folded)\n\
+             /profile/table  self/total time table\n\
+             /quitz          request clean shutdown\n"
+                .to_string(),
+        ),
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        "/healthz" => (
+            "200 OK",
+            "application/json",
+            format!(
+                "{{\"status\":\"ok\",\"uptime_ns\":{},\"events\":{},\"windows\":{},\"traces\":{}}}\n",
+                registry.elapsed_ns(),
+                registry.events().len(),
+                registry.windows().len(),
+                registry.traces().len(),
+            ),
+        ),
+        "/windows" => (
+            "200 OK",
+            "application/x-ndjson",
+            registry.windows_ndjson(),
+        ),
+        "/profile" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            registry.profile().render_folded(),
+        ),
+        "/profile/table" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            registry.profile().render_table(),
+        ),
+        "/quitz" => {
+            shutdown.store(true, Ordering::Relaxed);
+            ("200 OK", "text/plain; charset=utf-8", "bye\n".to_string())
+        }
+        p if p.starts_with('!') => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is served here\n".to_string(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; GET / lists routes\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately leaked registry: the server signature wants
+    /// `&'static`, and a test registry leaking ~1 KiB once is fine.
+    fn static_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::new()))
+    }
+
+    fn get(port: u16, path: &str) -> (String, String) {
+        let mut s = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("read response");
+        let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_healthz_windows_profile() {
+        let r = static_registry();
+        r.counter("serve_test_total").add(7);
+        {
+            let _s = r.span("serve_stage");
+        }
+        r.windows()
+            .push("{\"event\":\"window\",\"scope\":\"test\",\"index\":0}".into());
+        let h = serve(r, 0).expect("bind ephemeral");
+        let port = h.port();
+
+        let (head, body) = get(port, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(crate::prometheus::validate_exposition(&body).is_ok());
+        assert!(body.contains("serve_test_total 7"));
+
+        let (head, body) = get(port, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (_, body) = get(port, "/windows");
+        assert!(body.contains("\"scope\":\"test\""));
+
+        let (_, body) = get(port, "/profile");
+        assert!(body.contains("serve_stage"));
+        let (_, body) = get(port, "/profile/table");
+        assert!(body.contains("path"));
+
+        let (head, _) = get(port, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        // Scrapes were themselves counted.
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("obs_http_requests_total", &[("path", "/metrics")]),
+            1
+        );
+        assert_eq!(
+            snap.counter("obs_http_requests_total", &[("path", "other")]),
+            1
+        );
+        h.join();
+    }
+
+    #[test]
+    fn quitz_stops_the_loop() {
+        let r = static_registry();
+        let h = serve(r, 0).expect("bind");
+        let port = h.port();
+        let (head, body) = get(port, "/quitz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert_eq!(body, "bye\n");
+        assert!(h.shutdown_requested());
+        h.join(); // returns promptly: the loop saw the flag
+                  // The port is released once the loop exits (give the OS a beat).
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(TcpListener::bind(("127.0.0.1", port)).is_ok());
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let r = static_registry();
+        let h = serve(r, 0).expect("bind");
+        let mut s = TcpStream::connect(("127.0.0.1", h.port())).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
+        h.join();
+    }
+}

@@ -20,6 +20,9 @@ pub struct Span<'r> {
     counts: Vec<(&'static str, u64)>,
     start: Instant,
     finished: bool,
+    /// Profiler frame handle; 0 means no frame was pushed (recording
+    /// was disabled when the span started).
+    profile_token: u64,
 }
 
 impl<'r> Span<'r> {
@@ -28,13 +31,18 @@ impl<'r> Span<'r> {
         name: &'static str,
         labels: &[(&str, &str)],
     ) -> Span<'r> {
-        let labels = if crate::enabled() {
+        let labels: Vec<(String, String)> = if crate::enabled() {
             labels
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect()
         } else {
             Vec::new()
+        };
+        let profile_token = if crate::enabled() {
+            crate::profile::push_frame(registry, name, &labels)
+        } else {
+            0
         };
         Span {
             registry,
@@ -43,6 +51,7 @@ impl<'r> Span<'r> {
             counts: Vec::new(),
             start: Instant::now(),
             finished: false,
+            profile_token,
         }
     }
 
@@ -71,10 +80,16 @@ impl<'r> Span<'r> {
             return;
         }
         self.finished = true;
+        let ns = elapsed.as_nanos() as u64;
+        // The profiler frame must pop even if recording was switched off
+        // mid-span, or the thread-local stack would leak the frame and
+        // misattribute later spans' ancestry.
+        if self.profile_token != 0 {
+            crate::profile::pop_frame(self.registry, self.profile_token, ns);
+        }
         if !crate::enabled() {
             return;
         }
-        let ns = elapsed.as_nanos() as u64;
         let label_refs: Vec<(&str, &str)> = self
             .labels
             .iter()

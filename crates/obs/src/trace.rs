@@ -185,6 +185,10 @@ pub struct TraceLog {
     lines: Mutex<Vec<String>>,
     capacity: usize,
     dropped: AtomicU64,
+    /// `event` value of the trailing drop-marker line
+    /// (`traces_dropped` here; the window log reuses this type with its
+    /// own marker).
+    marker: &'static str,
 }
 
 impl Default for TraceLog {
@@ -196,10 +200,17 @@ impl Default for TraceLog {
 impl TraceLog {
     /// A log holding at most `capacity` lines.
     pub fn with_capacity(capacity: usize) -> TraceLog {
+        TraceLog::with_capacity_and_marker(capacity, "traces_dropped")
+    }
+
+    /// A log holding at most `capacity` lines whose NDJSON drop marker
+    /// is `{"event":"<marker>","count":N}`.
+    pub fn with_capacity_and_marker(capacity: usize, marker: &'static str) -> TraceLog {
         TraceLog {
             lines: Mutex::new(Vec::new()),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
+            marker,
         }
     }
 
@@ -246,7 +257,8 @@ impl TraceLog {
         }
         if dropped > 0 {
             out.push_str(&format!(
-                "{{\"event\":\"traces_dropped\",\"count\":{dropped}}}\n"
+                "{{\"event\":\"{}\",\"count\":{dropped}}}\n",
+                self.marker
             ));
         }
         out

@@ -48,4 +48,8 @@ fn disabled_recording_is_a_no_op() {
         "disabled spans record nothing"
     );
     assert!(r.events().is_empty(), "disabled events dropped");
+    assert!(
+        r.profile().is_empty(),
+        "disabled spans leave no profile frames"
+    );
 }

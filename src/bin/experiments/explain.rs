@@ -126,7 +126,7 @@ pub fn run(args: &[String]) -> ! {
 /// The fixture rule set: EasyList-shaped blocking rules, EasyPrivacy
 /// tracking rules, and an acceptable-ads whitelist that overrides the
 /// `niceads.example` block — the §3.1 situation `explain` demonstrates.
-fn fixture_classifier() -> PassiveClassifier {
+pub(crate) fn fixture_classifier() -> PassiveClassifier {
     PassiveClassifier::new(vec![
         FilterList::parse(
             "easylist",

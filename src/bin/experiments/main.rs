@@ -3,6 +3,9 @@
 //! ```text
 //! experiments <id>... [--scale small|medium|large] [--seed N] [--threads N]
 //! experiments explain --url <u> [--trace <file>]
+//! experiments temporal [--trace <file>] [--width SECS] [--scale ...]
+//! experiments serve --port N [--port-file PATH] [--pace SECS] [--scale ...]
+//! experiments fetch --port N --path <p> [--retries N] [--check-metrics]
 //!
 //! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
 //!      fig6 sec73 sec81 table5 fig7 sensitivity validation robustness all
@@ -18,6 +21,8 @@
 
 mod experiments;
 mod explain;
+mod serve;
+mod temporal;
 mod world;
 
 use std::io::Write;
@@ -29,6 +34,14 @@ fn main() {
     // id), so it branches before the generic argument loop.
     if args.first().map(String::as_str) == Some("explain") {
         explain::run(&args[1..]);
+    }
+    // Likewise `temporal` (windowed §5 table), `serve` (live scrape
+    // endpoint), and `fetch` (its CI smoke-test client).
+    match args.first().map(String::as_str) {
+        Some("temporal") => temporal::run(&args[1..]),
+        Some("serve") => serve::run_serve(&args[1..]),
+        Some("fetch") => serve::run_fetch(&args[1..]),
+        _ => {}
     }
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Medium;
@@ -106,6 +119,10 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments <id>... [--scale small|medium|large] [--seed N] [--threads N]\n\
+         \x20      experiments explain --url <u> [--trace <file>]\n\
+         \x20      experiments temporal [--trace <file>] [--width SECS]\n\
+         \x20      experiments serve --port N [--port-file PATH] [--pace SECS]\n\
+         \x20      experiments fetch --port N --path <p> [--retries N] [--check-metrics]\n\
          ids: {} all",
         experiments::ALL_IDS.join(" ")
     );

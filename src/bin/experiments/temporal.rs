@@ -1,0 +1,188 @@
+//! `experiments temporal` — the per-hour-of-day ad-share table (the
+//! paper's §5 temporal characterization, Figure-5 shape).
+//!
+//! ```text
+//! experiments temporal [--trace <file>] [--width SECS]
+//!                      [--scale small|medium|large] [--seed N] [--threads N]
+//! ```
+//!
+//! With `--trace`, the NDJSON capture is replayed through the lossy
+//! reader and classified against the same fixture rule set `explain`
+//! uses, so the output is a pure function of the file bytes — which is
+//! what lets the golden test pin it. Without `--trace`, the shared
+//! world's RBN-1 trace is built at the requested scale and its windowed
+//! series are collapsed onto the 24-hour clock.
+//!
+//! The table collapses the pipeline's windowed series
+//! ([`adscope::window`]) onto the hour-of-day axis using the trace's
+//! wall-clock `start_hour`; the watermark is infinite here so every
+//! record lands in its window and the table is a complete census
+//! (lateness is a live-scrape concern, not a batch-table one).
+
+use crate::world::{Scale, World};
+use adscope::pipeline::ClassifiedTrace;
+use adscope::window::WindowOptions;
+use adscope::PipelineOptions;
+
+/// Entry point for the `temporal` subcommand. Exits the process.
+pub fn run(args: &[String]) -> ! {
+    let mut trace_arg: Option<String> = None;
+    let mut width: f64 = 3600.0;
+    let mut scale = Scale::Small;
+    let mut seed: u64 = 0x5eed;
+    let mut threads = parallel::available_parallelism();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                trace_arg = args.get(i).cloned();
+            }
+            "--width" => {
+                i += 1;
+                width = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|w: &f64| *w > 0.0 && w.is_finite())
+                    .unwrap_or_else(|| fail("bad --width value"));
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| fail("bad --scale value"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("bad --seed value"));
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("bad --threads value"));
+            }
+            other => fail(&format!("unknown temporal argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let opts = PipelineOptions {
+        window: WindowOptions {
+            enabled: true,
+            width_secs: width,
+            watermark_secs: f64::INFINITY,
+        },
+        ..Default::default()
+    };
+
+    let (meta, windows) = match &trace_arg {
+        Some(path) => {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => fail(&format!("cannot read trace {path:?}: {e}")),
+            };
+            let (trace, stats) = netsim::codec::read_trace_lossy(bytes.as_slice())
+                .unwrap_or_else(|e| fail(&format!("cannot decode trace {path:?}: {e}")));
+            if stats.total_skipped() > 0 {
+                eprintln!(
+                    "[temporal] lossy read skipped {} line(s) of {path}",
+                    stats.total_skipped()
+                );
+            }
+            let out: ClassifiedTrace = adscope::classify_trace_sharded(
+                &trace,
+                &crate::explain::fixture_classifier(),
+                opts,
+                threads,
+            );
+            (out.meta, out.windows)
+        }
+        None => {
+            let mut world = World::new(scale, seed, threads);
+            // Reuse the world's classified requests and rerun only the
+            // window pass, so `--width` is honored without a second
+            // classification.
+            let data = world.rbn1();
+            let windows = adscope::window::aggregate(&data.classified.requests, opts.window);
+            (data.classified.meta.clone(), windows)
+        }
+    };
+
+    print!("{}", render(&meta, &windows));
+    std::process::exit(0);
+}
+
+/// Render the deterministic per-hour table (golden-pinned).
+fn render(meta: &netsim::record::TraceMeta, w: &obs::WindowReport) -> String {
+    use std::fmt::Write;
+    let start = meta.start_hour;
+    let requests = w.hour_totals(start, "requests");
+    let ads = w.hour_totals(start, "ads");
+    let blocked_el = w.hour_totals(start, "blocked_easylist");
+    let blocked_ep = w.hour_totals(start, "blocked_easyprivacy");
+    let whitelisted = w.hour_totals(start, "whitelisted");
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Temporal ad share by hour of day — trace {:?}, start hour {}, {} windows",
+        meta.name,
+        start,
+        w.windows.len()
+    );
+    let _ = writeln!(
+        s,
+        "{:>4}  {:>9}  {:>9}  {:>12}  {:>9}  {:>11}",
+        "hour", "requests", "ads", "ad_share_pct", "blocked", "whitelisted"
+    );
+    for h in 0..24 {
+        let share = if requests[h] > 0 {
+            format!("{:.1}", 100.0 * ads[h] as f64 / requests[h] as f64)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            s,
+            "{:>4}  {:>9}  {:>9}  {:>12}  {:>9}  {:>11}",
+            format!("{h:02}"),
+            requests[h],
+            ads[h],
+            share,
+            blocked_el[h] + blocked_ep[h],
+            whitelisted[h]
+        );
+    }
+    let total_req: u64 = requests.iter().sum();
+    let total_ads: u64 = ads.iter().sum();
+    let total_share = if total_req > 0 {
+        format!("{:.1}", 100.0 * total_ads as f64 / total_req as f64)
+    } else {
+        "-".to_string()
+    };
+    let _ = writeln!(
+        s,
+        "{:>4}  {:>9}  {:>9}  {:>12}  {:>9}  {:>11}",
+        "all",
+        total_req,
+        total_ads,
+        total_share,
+        blocked_el.iter().sum::<u64>() + blocked_ep.iter().sum::<u64>(),
+        whitelisted.iter().sum::<u64>()
+    );
+    s
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: experiments temporal [--trace <file>] [--width SECS] \
+         [--scale small|medium|large] [--seed N] [--threads N]"
+    );
+    std::process::exit(2);
+}
