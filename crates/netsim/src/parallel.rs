@@ -93,6 +93,11 @@ fn merge_and_publish_windows(registry: &obs::Registry, partials: Vec<obs::Window
     for p in &partials {
         merged.merge(p);
     }
+    // Late observations (non-finite timestamps in lossy-decoded records)
+    // stay visible even when no window closed at all.
+    if merged.late > 0 {
+        registry.counter("obs_window_late_total").add(merged.late);
+    }
     if merged.windows.is_empty() {
         return;
     }

@@ -99,6 +99,9 @@ fn accept_loop(listener: TcpListener, registry: &'static Registry, shutdown: &At
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // accept() inherits the listener's O_NONBLOCK on BSD and
+                // macOS (not Linux); the per-connection I/O must block.
+                let _ = stream.set_nonblocking(false);
                 // Per-connection failures (client hangup mid-write) must
                 // not take the loop down.
                 let _ = handle(stream, registry, shutdown);

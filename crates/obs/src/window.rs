@@ -16,12 +16,21 @@
 //! * The **watermark** is `high_ts − watermark_secs`, where `high_ts` is
 //!   the highest timestamp seen. A window *closes* once its end falls at
 //!   or below the watermark; closed windows are immutable snapshots.
+//!   With an infinite watermark nothing closes before
+//!   [`WindowEngine::finish`], and windows may open in any index order —
+//!   the order-insensitive mode the merge contract below relies on.
 //! * Observations behind the watermark (into an already-closed window)
 //!   are **late**: they increment a visible counter instead of being
 //!   silently dropped — the pipeline bridges it to
 //!   `obs_window_late_total`. Non-finite timestamps count as late too.
-//! * Windows that close with nothing recorded are elided, so sparse
-//!   traces don't emit runs of empty lines.
+//! * Only windows that record something exist at all: the open set is
+//!   sparse (sorted by index), so an outlier timestamp costs one
+//!   window's allocation, never a dense span — a corrupt-but-finite
+//!   timestamp in a lossy-decoded trace cannot balloon memory. As a
+//!   final backstop the open set is capped at [`MAX_OPEN_WINDOWS`];
+//!   beyond it the extreme window is force-closed early, and
+//!   [`WindowEngine::finish`] folds any resulting duplicate indices back
+//!   together, so the report stays exact.
 //!
 //! Series are registered up front and addressed by dense ids
 //! ([`CounterId`], [`HistId`]), keeping the per-observation cost at a
@@ -81,12 +90,19 @@ pub struct CounterId(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistId(usize);
 
-/// One still-open window's cells.
+/// Hard cap on simultaneously open windows. The open set is sparse, so
+/// only pathological input (thousands of distinct far-apart timestamps,
+/// none closing) can approach this; past it the engine force-closes the
+/// extreme window rather than growing, and [`WindowEngine::finish`]
+/// re-merges any index that was closed early and touched again.
+pub const MAX_OPEN_WINDOWS: usize = 4096;
+
+/// One still-open window's cells. An open window exists only once an
+/// observation lands in it, so there is no "untouched" state.
 #[derive(Debug, Clone)]
 struct OpenWindow {
     counters: Vec<u64>,
     hists: Vec<HistogramSnapshot>,
-    touched: bool,
 }
 
 impl OpenWindow {
@@ -94,7 +110,6 @@ impl OpenWindow {
         OpenWindow {
             counters: vec![0; ncounters],
             hists: (0..nhists).map(|_| empty_hist()).collect(),
-            touched: false,
         }
     }
 }
@@ -243,11 +258,21 @@ impl WindowReport {
     /// Merge another report (same width) into this one: windows align by
     /// index, counters add, histograms merge, lateness adds. Merging is
     /// associative and commutative, so any partition of an observation
-    /// stream folds back to the unpartitioned result.
+    /// stream folds back to the unpartitioned result. Aligning windows
+    /// by index is only meaningful when both reports share a width;
+    /// merging non-empty reports of different geometry is a caller bug
+    /// (debug-asserted — the sharded producers all window with one
+    /// shared config).
     pub fn merge(&mut self, other: &WindowReport) {
         if self.windows.is_empty() && self.width_secs == 0.0 {
             self.width_secs = other.width_secs;
         }
+        debug_assert!(
+            other.windows.is_empty() || self.width_secs == other.width_secs,
+            "merging window reports of different widths ({} vs {})",
+            self.width_secs,
+            other.width_secs,
+        );
         self.late += other.late;
         for w in &other.windows {
             match self.windows.binary_search_by_key(&w.index, |x| x.index) {
@@ -286,12 +311,14 @@ pub struct WindowEngine {
     cfg: WindowConfig,
     counter_names: Vec<&'static str>,
     hist_names: Vec<&'static str>,
-    /// Open windows with contiguous indices starting at `first_index`.
-    open: VecDeque<OpenWindow>,
-    /// Index of `open[0]`; when `open` is empty, the next index that may
-    /// still legally open. Meaningless until `seeded`.
-    first_index: i64,
-    seeded: bool,
+    /// Open windows, sparse, sorted by index. Only indices that recorded
+    /// an observation exist; the set extends backward as well as forward
+    /// (out-of-order streams under a loose or infinite watermark).
+    open: VecDeque<(i64, OpenWindow)>,
+    /// Lowest index still allowed to open (finite watermark only):
+    /// observations below it are late. Never advances under an infinite
+    /// watermark, so that mode is fully order-insensitive.
+    frontier: i64,
     high_ts: f64,
     closed: Vec<ClosedWindow>,
     late: u64,
@@ -316,8 +343,7 @@ impl WindowEngine {
             counter_names: Vec::new(),
             hist_names: Vec::new(),
             open: VecDeque::new(),
-            first_index: 0,
-            seeded: false,
+            frontier: i64::MIN,
             high_ts: f64::NEG_INFINITY,
             closed: Vec::new(),
             late: 0,
@@ -330,7 +356,7 @@ impl WindowEngine {
             return CounterId(i);
         }
         self.counter_names.push(name);
-        for w in &mut self.open {
+        for (_, w) in &mut self.open {
             w.counters.push(0);
         }
         CounterId(self.counter_names.len() - 1)
@@ -342,7 +368,7 @@ impl WindowEngine {
             return HistId(i);
         }
         self.hist_names.push(name);
-        for w in &mut self.open {
+        for (_, w) in &mut self.open {
             w.hists.push(empty_hist());
         }
         HistId(self.hist_names.len() - 1)
@@ -352,7 +378,6 @@ impl WindowEngine {
     pub fn count(&mut self, ts: f64, id: CounterId, n: u64) {
         if let Some(w) = self.slot(ts) {
             w.counters[id.0] += n;
-            w.touched = true;
         }
     }
 
@@ -362,7 +387,6 @@ impl WindowEngine {
             let h = &mut w.hists[id.0];
             h.buckets[bucket_index(v)] += 1;
             h.sum = h.sum.wrapping_add(v);
-            w.touched = true;
         }
     }
 
@@ -387,9 +411,20 @@ impl WindowEngine {
         while !self.open.is_empty() {
             self.close_front();
         }
+        // Cap evictions can close one index twice (force-close, reopen,
+        // close again); fold duplicates so the report is sorted and
+        // unique. The common no-eviction path is already both, so this
+        // only appends.
+        let mut windows: Vec<ClosedWindow> = Vec::with_capacity(self.closed.len());
+        for w in std::mem::take(&mut self.closed) {
+            match windows.binary_search_by_key(&w.index, |x| x.index) {
+                Ok(i) => windows[i].absorb(&w),
+                Err(i) => windows.insert(i, w),
+            }
+        }
         WindowReport {
             width_secs: self.cfg.width_secs,
-            windows: std::mem::take(&mut self.closed),
+            windows,
             late: self.late,
         }
     }
@@ -406,52 +441,74 @@ impl WindowEngine {
         if ts > self.high_ts {
             self.high_ts = ts;
         }
-        if !self.seeded {
-            self.seeded = true;
-            self.first_index = idx;
-        }
-        // Advance the watermark: close (and, for gaps, discard empty)
-        // windows whose end is at or below high_ts − watermark.
+        // Advance the watermark: the frontier is the lowest index whose
+        // end is still above high_ts − watermark; everything below it
+        // closes, and later arrivals below it are late. An infinite
+        // watermark never moves the frontier.
         if self.cfg.watermark_secs.is_finite() {
             let cutoff = self.high_ts - self.cfg.watermark_secs;
-            while !self.open.is_empty()
-                && (self.first_index + 1) as f64 * self.cfg.width_secs <= cutoff
-            {
+            let frontier = ((cutoff / self.cfg.width_secs - 1.0).floor() as i64).saturating_add(1);
+            if frontier > self.frontier {
+                self.frontier = frontier;
+            }
+            while self.open.front().is_some_and(|(i, _)| *i < self.frontier) {
                 self.close_front();
             }
-            // With no open windows, the frontier itself moves so a gap
-            // longer than the watermark can't resurrect closed time.
-            if self.open.is_empty() {
-                let frontier = (cutoff / self.cfg.width_secs).ceil() as i64;
-                if frontier > self.first_index {
-                    self.first_index = frontier;
-                }
+            if idx < self.frontier {
+                self.late += 1;
+                return None;
             }
         }
-        if idx < self.first_index {
-            self.late += 1;
-            return None;
-        }
-        let offset = (idx - self.first_index) as usize;
-        while self.open.len() <= offset {
-            self.open.push_back(OpenWindow::new(
-                self.counter_names.len(),
-                self.hist_names.len(),
-            ));
-        }
-        Some(&mut self.open[offset])
+        // Sparse sorted lookup; the monotonic hot path hits the back.
+        let pos = match self.open.back() {
+            Some((i, _)) if *i == idx => self.open.len() - 1,
+            Some((i, _)) if *i < idx => {
+                self.open.push_back((idx, self.fresh_window()));
+                self.evict_over_cap(self.open.len() - 1)
+            }
+            _ => match self.open.binary_search_by_key(&idx, |(i, _)| *i) {
+                Ok(p) => p,
+                Err(p) => {
+                    self.open.insert(p, (idx, self.fresh_window()));
+                    self.evict_over_cap(p)
+                }
+            },
+        };
+        Some(&mut self.open[pos].1)
     }
 
-    /// Close `open[0]`, emitting it unless it recorded nothing.
-    fn close_front(&mut self) {
-        let Some(w) = self.open.pop_front() else {
-            return;
-        };
-        let index = self.first_index;
-        self.first_index += 1;
-        if !w.touched {
-            return;
+    fn fresh_window(&self) -> OpenWindow {
+        OpenWindow::new(self.counter_names.len(), self.hist_names.len())
+    }
+
+    /// Enforce [`MAX_OPEN_WINDOWS`] after an insert at `pos`: when over
+    /// the cap, force-close the window at the opposite extreme from the
+    /// insertion so the slot just created survives. Returns the (possibly
+    /// shifted) position of the inserted window. Early-closed indices can
+    /// reopen later; [`WindowEngine::finish`] folds the duplicates.
+    fn evict_over_cap(&mut self, pos: usize) -> usize {
+        if self.open.len() <= MAX_OPEN_WINDOWS {
+            return pos;
         }
+        if pos == 0 {
+            if let Some((i, w)) = self.open.pop_back() {
+                self.push_closed(i, w);
+            }
+            pos
+        } else {
+            self.close_front();
+            pos - 1
+        }
+    }
+
+    /// Close the lowest-index open window.
+    fn close_front(&mut self) {
+        if let Some((i, w)) = self.open.pop_front() {
+            self.push_closed(i, w);
+        }
+    }
+
+    fn push_closed(&mut self, index: i64, w: OpenWindow) {
         let mut counters: Vec<(&'static str, u64)> = self
             .counter_names
             .iter()
@@ -625,6 +682,60 @@ mod tests {
         assert_eq!(r.windows[0].index, -1);
         assert_eq!(r.windows[0].start_secs, -10.0);
         assert_eq!(r.windows[1].index, 0);
+    }
+
+    #[test]
+    fn outlier_timestamp_does_not_balloon_the_open_set() {
+        // One corrupt-but-finite timestamp must cost one window, not a
+        // dense span — under an infinite watermark (decode partials) the
+        // old ring allocated every index up to the outlier and OOMed.
+        let (mut e, c, _) = engine(3600.0, f64::INFINITY);
+        e.count(10.0, c, 1);
+        e.count(1.0e15, c, 1);
+        e.count(20.0, c, 1);
+        assert!(
+            e.open.len() <= 2,
+            "open set stays sparse, len={}",
+            e.open.len()
+        );
+        let r = e.finish();
+        assert_eq!(r.late, 0);
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[0].counter("requests"), 2);
+        assert_eq!(r.windows[1].counter("requests"), 1);
+    }
+
+    #[test]
+    fn infinite_watermark_is_order_insensitive() {
+        // A chunk whose first record is not its minimum timestamp must
+        // still window everything — nothing is late without a watermark.
+        let (mut e, c, _) = engine(10.0, f64::INFINITY);
+        e.count(100.0, c, 1);
+        e.count(5.0, c, 1);
+        let r = e.finish();
+        assert_eq!(r.late, 0);
+        let indices: Vec<i64> = r.windows.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![0, 10]);
+    }
+
+    #[test]
+    fn open_cap_force_closes_and_finish_refolds() {
+        let (mut e, c, _) = engine(1.0, f64::INFINITY);
+        let n = MAX_OPEN_WINDOWS + 10;
+        for i in 0..n {
+            e.count(i as f64 + 0.5, c, 1);
+            assert!(e.open.len() <= MAX_OPEN_WINDOWS);
+        }
+        // Window 0 was force-closed by the cap; touching it again must
+        // reopen it and fold back together at finish.
+        e.count(0.5, c, 2);
+        let r = e.finish();
+        assert_eq!(r.late, 0);
+        assert_eq!(r.windows.len(), n);
+        let indices: Vec<i64> = r.windows.iter().map(|w| w.index).collect();
+        assert!(indices.windows(2).all(|p| p[0] < p[1]), "sorted, unique");
+        assert_eq!(r.windows[0].counter("requests"), 3);
+        assert_eq!(r.total("requests"), n as u64 + 2);
     }
 
     #[test]
