@@ -56,10 +56,63 @@ grep -q '^obs_serve_starts_total ' target/experiments/serve_metrics.prom
 ./target/release/experiments fetch --port "$SERVE_PORT" --path /quitz >/dev/null
 wait "$SERVE_PID"
 
-echo "==> cargo bench (gated: trace_io, pipeline, trace_overhead, window_overhead)"
+echo "==> experiments stream (bounded memory + kill/resume gate)"
+STREAM_DIR=target/experiments/stream
+rm -rf "$STREAM_DIR"
+mkdir -p "$STREAM_DIR"
+# Generate the RBN-1 trace to disk slice by slice (never materialized),
+# then stream-classify it. Stderr carries the machine-parseable peak-RSS
+# line backing the flat-memory claim.
+./target/release/experiments stream --rbn1 --scale small \
+  --write-trace "$STREAM_DIR/rbn1.trace" \
+  --quarantine "$STREAM_DIR/quarantine.ndjson" \
+  --report "$STREAM_DIR/full.report" 2>"$STREAM_DIR/full.stderr"
+grep -q '^trace RBN-1 ' "$STREAM_DIR/full.report"
+rss="$(sed -n 's/^\[stream\] peak_rss_bytes=//p' "$STREAM_DIR/full.stderr")"
+test -n "$rss"
+# RSS ceiling: the small-scale pass must stay under 256 MiB. (The
+# materialized path holds the whole trace; streaming must not.)
+test "$rss" -lt $((256 * 1024 * 1024))
+echo "    peak RSS $((rss / 1024 / 1024)) MiB (ceiling 256 MiB)"
+# Deterministic kill at ~50% of the chunk count ("as if SIGKILLed"),
+# then resume on a different thread count: the resumed report must be
+# byte-identical to the uninterrupted run.
+chunks="$(sed -n 's/.* chunks \([0-9][0-9]*\)$/\1/p' "$STREAM_DIR/full.report")"
+half=$((chunks / 2))
+[ "$half" -ge 1 ] || half=1
+./target/release/experiments stream --trace "$STREAM_DIR/rbn1.trace" \
+  --checkpoint-dir "$STREAM_DIR/ck" --checkpoint-every 1 \
+  --stop-after-chunks "$half" --threads 3 >/dev/null 2>&1
+./target/release/experiments stream --trace "$STREAM_DIR/rbn1.trace" \
+  --checkpoint-dir "$STREAM_DIR/ck" --resume --threads 2 \
+  --report "$STREAM_DIR/resumed.report" >/dev/null 2>&1
+cmp "$STREAM_DIR/full.report" "$STREAM_DIR/resumed.report"
+echo "    kill at chunk $half/$chunks + resume: report byte-identical"
+# A real SIGKILL mid-run (atomic checkpoint writes mean the survivor is
+# always loadable): throttle the run, kill -9 once the first checkpoint
+# lands, resume, byte-compare again.
+./target/release/experiments stream --trace "$STREAM_DIR/rbn1.trace" \
+  --checkpoint-dir "$STREAM_DIR/ck2" --checkpoint-every 2 \
+  --throttle-ms 40 >/dev/null 2>&1 &
+STREAM_PID=$!
+for _ in $(seq 1 200); do
+  [ -s "$STREAM_DIR/ck2/checkpoint.ndjson" ] && break
+  sleep 0.05
+done
+test -s "$STREAM_DIR/ck2/checkpoint.ndjson"
+kill -9 "$STREAM_PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+./target/release/experiments stream --trace "$STREAM_DIR/rbn1.trace" \
+  --checkpoint-dir "$STREAM_DIR/ck2" --resume \
+  --report "$STREAM_DIR/killed.report" >/dev/null 2>&1
+cmp "$STREAM_DIR/full.report" "$STREAM_DIR/killed.report"
+echo "    SIGKILL mid-run + resume: report byte-identical"
+
+echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead)"
 rm -f BENCH_latest.json
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_io
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench pipeline
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench streaming_pipeline
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench window_overhead
 

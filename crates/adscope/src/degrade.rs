@@ -49,12 +49,16 @@ pub struct DegradationReport {
     /// Pipeline: HTTP records arriving with a timestamp earlier than
     /// their predecessor (capture reordering / clock skew).
     pub out_of_order_records: usize,
+    /// Streaming: records whose processing panicked and were quarantined
+    /// to the poison sidecar instead of aborting the run. Always zero on
+    /// the materialized path (a panic there propagates).
+    pub poisoned_records: usize,
 }
 
 impl DegradationReport {
     /// Records excluded from classification entirely (the quarantine).
     pub fn quarantined(&self) -> usize {
-        self.unparseable_urls
+        self.unparseable_urls + self.poisoned_records
     }
 
     /// Sum of all degradation events (fallbacks included).
@@ -68,13 +72,14 @@ impl DegradationReport {
             + self.refmap_misses
             + self.broken_redirect_chains
             + self.out_of_order_records
+            + self.poisoned_records
     }
 
     /// The counters as `(reason, count)` pairs — the bridge into metric
     /// label space (`adscope_degradation_total{reason="..."}`). The
     /// reconciliation tests lean on this being *exhaustive*: every field
     /// appears exactly once, so `counts().sum == total()`.
-    pub fn counts(&self) -> [(&'static str, usize); 9] {
+    pub fn counts(&self) -> [(&'static str, usize); 10] {
         [
             ("unparseable_urls", self.unparseable_urls),
             ("unparseable_referers", self.unparseable_referers),
@@ -85,6 +90,7 @@ impl DegradationReport {
             ("refmap_misses", self.refmap_misses),
             ("broken_redirect_chains", self.broken_redirect_chains),
             ("out_of_order_records", self.out_of_order_records),
+            ("poisoned_records", self.poisoned_records),
         ]
     }
 
@@ -99,6 +105,7 @@ impl DegradationReport {
         self.refmap_misses += other.refmap_misses;
         self.broken_redirect_chains += other.broken_redirect_chains;
         self.out_of_order_records += other.out_of_order_records;
+        self.poisoned_records += other.poisoned_records;
     }
 }
 
@@ -108,7 +115,7 @@ impl std::fmt::Display for DegradationReport {
             f,
             "quarantined {} (bad urls), bad referers {}, bad locations {}, \
              no content-type {} (fallback recovered {}), no user-agent {}, \
-             refmap misses {}, broken redirects {}, out-of-order {}",
+             refmap misses {}, broken redirects {}, out-of-order {}, poisoned {}",
             self.unparseable_urls,
             self.unparseable_referers,
             self.unparseable_locations,
@@ -117,7 +124,8 @@ impl std::fmt::Display for DegradationReport {
             self.missing_user_agent,
             self.refmap_misses,
             self.broken_redirect_chains,
-            self.out_of_order_records
+            self.out_of_order_records,
+            self.poisoned_records
         )
     }
 }
@@ -136,12 +144,13 @@ mod tests {
         let b = DegradationReport {
             unparseable_urls: 1,
             broken_redirect_chains: 4,
+            poisoned_records: 2,
             ..Default::default()
         };
         a.absorb(&b);
         assert_eq!(a.unparseable_urls, 3);
-        assert_eq!(a.quarantined(), 3);
-        assert_eq!(a.total(), 3 + 3 + 4);
+        assert_eq!(a.quarantined(), 5, "poisoned records are quarantined too");
+        assert_eq!(a.total(), 3 + 3 + 4 + 2);
         assert_eq!(
             a.counts().iter().map(|(_, c)| c).sum::<usize>(),
             a.total(),

@@ -78,7 +78,7 @@ pub fn extract_with_report(trace: &Trace) -> (Vec<WebObject>, DegradationReport)
     (out, report)
 }
 
-fn extract_one(
+pub(crate) fn extract_one(
     idx: usize,
     tx: &HttpTransaction,
     report: &mut DegradationReport,

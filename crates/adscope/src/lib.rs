@@ -39,6 +39,7 @@ pub mod pipeline;
 pub mod provenance;
 pub mod refmap;
 pub mod shard;
+pub mod stream;
 pub mod users;
 pub mod window;
 
@@ -47,5 +48,9 @@ pub use degrade::DegradationReport;
 pub use pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
 pub use provenance::{TraceOptions, Tracer, VerdictProvenance};
 pub use shard::{classify_trace_sharded, classify_trace_sharded_in};
+pub use stream::{
+    classify_stream_chunks, classify_stream_file, CheckpointOptions, StreamError, StreamOptions,
+    StreamReport,
+};
 pub use users::{UserAggregate, UserKey};
 pub use window::WindowOptions;

@@ -92,20 +92,31 @@ impl Default for RefMapOptions {
 }
 
 /// Per-user referrer-map state.
+///
+/// Fields are `pub(crate)` so the streaming checkpoint can serialize and
+/// restore the exact live state (the map is deterministic given its
+/// state, so restoring it resumes mid-stream byte-identically).
 #[derive(Debug, Default)]
 pub struct RefMap {
     /// url (scheme-less) → (page root url, last seen ts, hops to root).
-    page_of: HashMap<String, (Url, f64, u16)>,
+    pub(crate) page_of: HashMap<String, (Url, f64, u16)>,
     /// pending redirect target (scheme-less) → (page root, expected type
     /// backfill index, ts, hops of the redirecting request).
-    pending_redirects: HashMap<String, (Option<Url>, usize, f64, u16)>,
+    pub(crate) pending_redirects: HashMap<String, (Option<Url>, usize, f64, u16)>,
     /// The user's most recent page root (fallback context).
-    last_page: Option<(Url, f64)>,
+    pub(crate) last_page: Option<(Url, f64)>,
     opts: RefMapOptions,
     /// Redirect targets registered from `Location` headers.
-    redirects_inserted: usize,
+    pub(crate) redirects_inserted: usize,
     /// Redirect targets that were later observed (chain stitched).
-    redirects_consumed: usize,
+    pub(crate) redirects_consumed: usize,
+    /// Streaming mode: record the backfill indexes of pending redirects
+    /// that die without being consumed (displaced by a newer redirect to
+    /// the same target, or evicted past the horizon), so a streaming
+    /// worker holding those records for potential backfill knows when to
+    /// release them.
+    pub(crate) track_releases: bool,
+    released: Vec<usize>,
 }
 
 /// Output entry: page context plus an optional "backfill" instruction
@@ -222,12 +233,19 @@ impl RefMap {
         } else if Self::looks_like_document(obj) {
             self.last_page = Some((obj.url.clone(), obj.ts));
         }
-        // Record pending redirects.
+        // Record pending redirects. A newer redirect to the same target
+        // displaces the old entry, whose backfill can then never fire.
         if self.opts.redirect_repair {
             if let Some(loc) = &obj.location {
                 self.redirects_inserted += 1;
-                self.pending_redirects
+                let displaced = self
+                    .pending_redirects
                     .insert(Self::key(loc), (page.clone(), obj.idx, obj.ts, hops));
+                if self.track_releases {
+                    if let Some((_, old_idx, _, _)) = displaced {
+                        self.released.push(old_idx);
+                    }
+                }
             }
         }
         // Embedded URLs in the query string join the same page.
@@ -264,14 +282,50 @@ impl RefMap {
         self.redirects_consumed
     }
 
+    /// Drain the backfill indexes released since the last call (streaming
+    /// mode only; always empty unless `track_releases` is set).
+    pub(crate) fn take_released(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.released)
+    }
+
+    /// Rebuild a map from checkpointed state (streaming resume).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore(
+        opts: RefMapOptions,
+        page_of: HashMap<String, (Url, f64, u16)>,
+        pending_redirects: HashMap<String, (Option<Url>, usize, f64, u16)>,
+        last_page: Option<(Url, f64)>,
+        redirects_inserted: usize,
+        redirects_consumed: usize,
+        track_releases: bool,
+    ) -> RefMap {
+        RefMap {
+            page_of,
+            pending_redirects,
+            last_page,
+            opts,
+            redirects_inserted,
+            redirects_consumed,
+            track_releases,
+            released: Vec::new(),
+        }
+    }
+
     fn evict(&mut self, now: f64) {
         if self.page_of.len() > 4096 {
             self.page_of
                 .retain(|_, (_, ts, _)| now - *ts <= PAGE_HORIZON_SECS);
         }
         if self.pending_redirects.len() > 256 {
-            self.pending_redirects
-                .retain(|_, (_, _, ts, _)| now - *ts <= REDIRECT_HORIZON_SECS);
+            let track = self.track_releases;
+            let released = &mut self.released;
+            self.pending_redirects.retain(|_, (_, idx, ts, _)| {
+                let keep = now - *ts <= REDIRECT_HORIZON_SECS;
+                if !keep && track {
+                    released.push(*idx);
+                }
+                keep
+            });
         }
     }
 }

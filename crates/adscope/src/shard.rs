@@ -43,7 +43,7 @@ use std::collections::HashMap;
 /// Deterministic shard assignment: FNV-1a over the user key. A missing
 /// User-Agent hashes differently from an empty one, mirroring the
 /// `(u32, Option<&str>)` map key the sequential pipeline uses.
-fn shard_of(client_ip: u32, user_agent: Option<&str>, nshards: u64) -> usize {
+pub(crate) fn shard_of(client_ip: u32, user_agent: Option<&str>, nshards: u64) -> usize {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;

@@ -69,41 +69,100 @@ pub const COUNTERS: &[&str] = &[
 /// requests only).
 pub const RTB_HIST: &str = "rtb_gap_ms";
 
-/// Fold classified requests into per-window series. Returns an empty
-/// report when windowing is disabled.
-pub fn aggregate(requests: &[ClassifiedRequest], opts: WindowOptions) -> WindowReport {
-    let mut engine = WindowEngine::new(opts.config());
-    let c_requests = engine.counter_series("requests");
-    let c_ads = engine.counter_series("ads");
-    let c_easylist = engine.counter_series("blocked_easylist");
-    let c_easyprivacy = engine.counter_series("blocked_easyprivacy");
-    let c_whitelisted = engine.counter_series("whitelisted");
-    let c_refmap_miss = engine.counter_series("refmap_miss");
-    let c_bytes = engine.counter_series("bytes");
-    let h_rtb = engine.hist_series(RTB_HIST);
-    if !opts.enabled {
-        return engine.finish();
+/// An incremental adscope window aggregator: the per-record half of
+/// [`aggregate`], reusable by the streaming shard workers (which observe
+/// requests one at a time and cut partial reports at checkpoint
+/// barriers). Series are registered at construction, so even a
+/// zero-record [`WindowAggregator::finish`] carries the full schema.
+#[derive(Debug)]
+pub struct WindowAggregator {
+    engine: WindowEngine,
+    opts: WindowOptions,
+    c_requests: obs::window::CounterId,
+    c_ads: obs::window::CounterId,
+    c_easylist: obs::window::CounterId,
+    c_easyprivacy: obs::window::CounterId,
+    c_whitelisted: obs::window::CounterId,
+    c_refmap_miss: obs::window::CounterId,
+    c_bytes: obs::window::CounterId,
+    h_rtb: obs::window::HistId,
+}
+
+impl WindowAggregator {
+    /// A fresh aggregator with every adscope series registered.
+    pub fn new(opts: WindowOptions) -> WindowAggregator {
+        let mut engine = WindowEngine::new(opts.config());
+        WindowAggregator {
+            c_requests: engine.counter_series("requests"),
+            c_ads: engine.counter_series("ads"),
+            c_easylist: engine.counter_series("blocked_easylist"),
+            c_easyprivacy: engine.counter_series("blocked_easyprivacy"),
+            c_whitelisted: engine.counter_series("whitelisted"),
+            c_refmap_miss: engine.counter_series("refmap_miss"),
+            c_bytes: engine.counter_series("bytes"),
+            h_rtb: engine.hist_series(RTB_HIST),
+            engine,
+            opts,
+        }
     }
-    for r in requests {
-        engine.count(r.ts, c_requests, 1);
-        engine.count(r.ts, c_bytes, r.bytes);
+
+    /// Fold one classified request into its window. No-op when windowing
+    /// is disabled.
+    pub fn observe(&mut self, r: &ClassifiedRequest) {
+        if !self.opts.enabled {
+            return;
+        }
+        self.engine.count(r.ts, self.c_requests, 1);
+        self.engine.count(r.ts, self.c_bytes, r.bytes);
         if r.page.is_none() {
-            engine.count(r.ts, c_refmap_miss, 1);
+            self.engine.count(r.ts, self.c_refmap_miss, 1);
         }
         if r.label.is_ad() {
-            engine.count(r.ts, c_ads, 1);
-            engine.observe(r.ts, h_rtb, r.backend_gap_ms().max(0.0) as u64);
+            self.engine.count(r.ts, self.c_ads, 1);
+            self.engine
+                .observe(r.ts, self.h_rtb, r.backend_gap_ms().max(0.0) as u64);
         }
         match r.label.attribution() {
-            Some(crate::classify::Attribution::EasyList) => engine.count(r.ts, c_easylist, 1),
-            Some(crate::classify::Attribution::EasyPrivacy) => engine.count(r.ts, c_easyprivacy, 1),
+            Some(crate::classify::Attribution::EasyList) => {
+                self.engine.count(r.ts, self.c_easylist, 1)
+            }
+            Some(crate::classify::Attribution::EasyPrivacy) => {
+                self.engine.count(r.ts, self.c_easyprivacy, 1)
+            }
             Some(crate::classify::Attribution::NonIntrusive) => {
-                engine.count(r.ts, c_whitelisted, 1)
+                self.engine.count(r.ts, self.c_whitelisted, 1)
             }
             None => {}
         }
     }
-    engine.finish()
+
+    /// Cut a partial report: close and return everything observed so far,
+    /// leaving the aggregator empty but live (checkpoint barriers). With
+    /// an infinite watermark the cut deltas merge back grouping-
+    /// independently, so *where* the cuts fall cannot change the merged
+    /// report.
+    pub fn cut(&mut self) -> WindowReport {
+        std::mem::replace(self, WindowAggregator::new(self.opts))
+            .engine
+            .finish()
+    }
+
+    /// Close all windows and return the final report.
+    pub fn finish(self) -> WindowReport {
+        self.engine.finish()
+    }
+}
+
+/// Fold classified requests into per-window series. Returns an empty
+/// report when windowing is disabled.
+pub fn aggregate(requests: &[ClassifiedRequest], opts: WindowOptions) -> WindowReport {
+    let mut agg = WindowAggregator::new(opts);
+    if opts.enabled {
+        for r in requests {
+            agg.observe(r);
+        }
+    }
+    agg.finish()
 }
 
 /// Publish a report into `registry`: NDJSON window lines (scope

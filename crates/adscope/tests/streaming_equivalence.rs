@@ -1,0 +1,352 @@
+//! Streaming-pipeline equivalence: `classify_stream_file` must produce
+//! the same classified requests, degradation accounting, and window
+//! series as the materialized `classify_trace_in` — for any trace,
+//! chunk size, and thread count, including traces degraded by
+//! `netsim::faults` at the in-memory and wire levels — and a run killed
+//! mid-stream must resume from its checkpoint to a byte-identical final
+//! report, even on a different thread count.
+//!
+//! Streaming forces the window watermark to infinity (cut deltas must
+//! merge grouping-independently), so the materialized reference runs
+//! with `watermark_secs = f64::INFINITY` too.
+//!
+//! Thread counts tested are {1, 4} — the same pair CI exercises for the
+//! sharded suite.
+
+use abp_filter::FilterList;
+use adscope::classify::PassiveClassifier;
+use adscope::pipeline::{classify_trace_in, ClassifiedTrace, PipelineOptions};
+use adscope::stream::{classify_stream_file, CheckpointOptions, StreamOptions};
+use http_model::headers::{RequestHeaders, ResponseHeaders};
+use http_model::transaction::Method;
+use http_model::HttpTransaction;
+use netsim::codec::{read_trace_lossy, write_trace};
+use netsim::faults::{FaultInjector, FaultProfile};
+use netsim::record::{Trace, TraceMeta, TraceRecord};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn classifier() -> PassiveClassifier {
+    PassiveClassifier::new(vec![
+        FilterList::parse(
+            "easylist",
+            "||ads.example^$third-party\n/banners/\n@@*callback=ok*\n",
+        ),
+        FilterList::parse("easyprivacy", "/pixel/\n"),
+        FilterList::parse("acceptable-ads", "@@||nice.example^\n"),
+    ])
+}
+
+/// A randomized multi-user trace exercising every stream-sensitive
+/// feature: several ⟨IP, UA⟩ pairs (including absent UA), referers,
+/// redirects with backfill targets, missing content types, out-of-order
+/// timestamps, and quarantined (empty-host) records.
+fn messy_trace(n: usize, users: u32, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records: Vec<TraceRecord> = Vec::with_capacity(n);
+    for i in 0..n {
+        let client = rng.gen_range(1..=users);
+        let ua = match rng.gen_range(0..4) {
+            0 => Some("UA-Desktop/1.0".to_string()),
+            1 => Some("UA-Mobile/2.0".to_string()),
+            2 => Some(String::new()),
+            _ => None,
+        };
+        let mut ts = i as f64 * 0.2;
+        if rng.gen_bool(0.1) {
+            ts -= 0.5; // out of order
+        }
+        let (host, uri, location, status) = match rng.gen_range(0..6) {
+            0 => ("pub.example", "/".to_string(), None, 200),
+            1 => ("ads.example", format!("/creative{i}.gif"), None, 200),
+            2 => ("x.example", format!("/banners/{i}.gif"), None, 200),
+            3 => (
+                "r.example",
+                format!("/go?id={i}"),
+                Some(format!("http://media.example/spot{i}.mp4")),
+                302,
+            ),
+            4 => ("media.example", format!("/spot{i}.mp4"), None, 200),
+            _ => ("", "/quarantined".to_string(), None, 200),
+        };
+        let referer = if rng.gen_bool(0.6) {
+            Some("http://pub.example/".to_string())
+        } else {
+            None
+        };
+        let content_type = match rng.gen_range(0..4) {
+            0 => Some("text/html".to_string()),
+            1 => Some("image/gif".to_string()),
+            2 => Some("video/mp4".to_string()),
+            _ => None,
+        };
+        records.push(TraceRecord::Http(HttpTransaction {
+            ts,
+            client_ip: client,
+            server_ip: rng.gen_range(10..20),
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: host.into(),
+                uri,
+                referer,
+                user_agent: ua,
+            },
+            response: ResponseHeaders {
+                status,
+                content_type,
+                content_length: Some(rng.gen_range(10..5000)),
+                location,
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: rng.gen_range(2.0..90.0),
+        }));
+    }
+    Trace {
+        meta: TraceMeta {
+            name: "stream-equiv".into(),
+            duration_secs: n as f64,
+            subscribers: users as usize,
+            start_hour: 0,
+            start_weekday: 0,
+        },
+        records,
+    }
+}
+
+/// A fresh temp path unique across parallel test threads and cases.
+fn temp_path(tag: &str) -> PathBuf {
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let n = SERIAL.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "adscope-streamequiv-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    p
+}
+
+fn write_trace_file(trace: &Trace, tag: &str) -> PathBuf {
+    let path = temp_path(tag);
+    let f = std::fs::File::create(&path).unwrap();
+    write_trace(trace, f).unwrap();
+    path
+}
+
+/// Materialized reference with the streaming window semantics
+/// (infinite watermark).
+fn reference(trace: &Trace) -> ClassifiedTrace {
+    let mut opts = PipelineOptions::default();
+    opts.window.watermark_secs = f64::INFINITY;
+    classify_trace_in(trace, &classifier(), opts, &obs::Registry::new())
+}
+
+fn stream_opts(threads: usize, chunk: usize) -> StreamOptions {
+    StreamOptions {
+        threads,
+        chunk_records: chunk,
+        collect_requests: true,
+        ..StreamOptions::default()
+    }
+}
+
+/// Full equality of the streaming and materialized outputs for one
+/// trace at every tested thread count.
+fn assert_stream_equivalent(trace: &Trace, chunk: usize) {
+    let seq = reference(trace);
+    let path = write_trace_file(trace, "equiv");
+    for threads in THREAD_COUNTS {
+        let rep = classify_stream_file(
+            &path,
+            &classifier(),
+            &stream_opts(threads, chunk),
+            &obs::Registry::new(),
+        )
+        .unwrap();
+        let got: Vec<_> = rep
+            .collected
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r.clone())
+            .collect();
+        assert_eq!(got, seq.requests, "requests, threads={threads}");
+        assert_eq!(rep.degradation, seq.degradation, "threads={threads}");
+        assert_eq!(rep.windows, seq.windows, "windows, threads={threads}");
+        assert_eq!(rep.requests as usize, seq.requests.len());
+        assert_eq!(rep.https_flows as usize, seq.https_flows.len());
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    /// Clean (but messy) traces: streaming == materialized.
+    #[test]
+    fn streaming_equals_materialized(
+        n in 1usize..120,
+        users in 1u32..10,
+        chunk in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        assert_stream_equivalent(&messy_trace(n, users, seed), chunk);
+    }
+
+    /// In-memory fault injection (dropped headers, skewed clocks,
+    /// duplicates): the degraded trace streams identically.
+    #[test]
+    fn streaming_equals_materialized_under_memory_faults(
+        n in 1usize..80,
+        users in 1u32..8,
+        rate in 0.0f64..0.8,
+        chunk in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let mut injector = FaultInjector::new(FaultProfile::uniform(rate), seed);
+        let faulted = injector.corrupt_trace(&messy_trace(n, users, seed));
+        assert_stream_equivalent(&faulted, chunk);
+    }
+
+    /// Wire-level garbage: whatever the incremental decoder salvages
+    /// from a corrupted file matches the one-shot lossy reader, byte
+    /// for byte through classification.
+    #[test]
+    fn streaming_equals_materialized_under_wire_garbage(
+        n in 1usize..60,
+        users in 1u32..8,
+        rate in 0.0f64..0.5,
+        chunk in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let mut injector = FaultInjector::new(FaultProfile::uniform(rate), seed);
+        let mut bytes = Vec::new();
+        write_trace(&messy_trace(n, users, seed), &mut bytes).expect("write");
+        let corrupted = injector.corrupt_bytes(&bytes);
+        let (recovered, _) = read_trace_lossy(corrupted.as_slice()).expect("lossy read");
+        let seq = reference(&recovered);
+
+        let path = temp_path("garbage");
+        std::fs::write(&path, &corrupted).unwrap();
+        for threads in THREAD_COUNTS {
+            let rep = classify_stream_file(
+                &path,
+                &classifier(),
+                &stream_opts(threads, chunk),
+                &obs::Registry::new(),
+            )
+            .unwrap();
+            let got: Vec<_> = rep
+                .collected
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r.clone())
+                .collect();
+            prop_assert_eq!(&got, &seq.requests, "requests, threads={}", threads);
+            prop_assert_eq!(&rep.degradation, &seq.degradation, "threads={}", threads);
+            prop_assert_eq!(&rep.windows, &seq.windows, "windows, threads={}", threads);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Kill-and-resume: a run stopped after K chunks resumes from its
+    /// last checkpoint — possibly on a different thread count — and the
+    /// final rendered report is byte-identical to an uninterrupted run.
+    #[test]
+    fn checkpoint_resume_renders_byte_identical(
+        n in 20usize..120,
+        users in 1u32..8,
+        chunk in 3usize..17,
+        kill_after in 1u64..6,
+        seed in 0u64..500,
+    ) {
+        let trace = messy_trace(n, users, seed);
+        let path = write_trace_file(&trace, "resume");
+        let ckdir = temp_path("ckdir");
+        std::fs::create_dir_all(&ckdir).unwrap();
+
+        let mut full = stream_opts(4, chunk);
+        full.collect_requests = false;
+        let want = classify_stream_file(&path, &classifier(), &full, &obs::Registry::new())
+            .unwrap()
+            .render();
+
+        let mut partial = stream_opts(3, chunk);
+        partial.collect_requests = false;
+        partial.stop_after_chunks = Some(kill_after);
+        partial.checkpoint = Some(CheckpointOptions {
+            dir: ckdir.clone(),
+            every_chunks: 1,
+            resume: false,
+        });
+        classify_stream_file(&path, &classifier(), &partial, &obs::Registry::new()).unwrap();
+
+        let mut resumed = stream_opts(1, chunk);
+        resumed.collect_requests = false;
+        resumed.checkpoint = Some(CheckpointOptions {
+            dir: ckdir.clone(),
+            every_chunks: 1,
+            resume: true,
+        });
+        let got = classify_stream_file(&path, &classifier(), &resumed, &obs::Registry::new())
+            .unwrap();
+        prop_assert!(got.resumed_from.is_some());
+        prop_assert_eq!(got.render(), want, "resumed render differs");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&ckdir);
+    }
+
+    /// Poison quarantine accounting: with the poison hook panicking on
+    /// one host, the run still completes, every poisoned record lands
+    /// in the sidecar, and classified + poisoned reconciles with the
+    /// materialized total.
+    #[test]
+    fn poisoned_records_reconcile_with_the_materialized_total(
+        n in 1usize..100,
+        users in 1u32..8,
+        chunk in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let trace = messy_trace(n, users, seed);
+        let seq = reference(&trace);
+        let poison_hits = trace
+            .records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Http(h) if h.request.host == "ads.example"))
+            .count();
+        let path = write_trace_file(&trace, "poison");
+        for threads in THREAD_COUNTS {
+            let qpath = temp_path("q");
+            let mut opts = stream_opts(threads, chunk);
+            opts.quarantine_path = Some(qpath.clone());
+            opts.poison_host = Some("ads.example".to_string());
+            let rep = classify_stream_file(&path, &classifier(), &opts, &obs::Registry::new())
+                .unwrap();
+            prop_assert_eq!(
+                rep.degradation.poisoned_records, poison_hits,
+                "poisoned count, threads={}", threads
+            );
+            prop_assert_eq!(
+                rep.requests as usize + poison_hits,
+                seq.requests.len(),
+                "classified + poisoned != materialized total, threads={}", threads
+            );
+            let sidecar = std::fs::read_to_string(&qpath).unwrap_or_default();
+            let lines: Vec<&str> = sidecar.lines().collect();
+            prop_assert_eq!(
+                lines.len(), rep.degradation.quarantined(),
+                "sidecar lines, threads={}", threads
+            );
+            for line in lines {
+                prop_assert!(line.contains("\"Http\""), "sidecar line not a record: {line}");
+            }
+            let _ = std::fs::remove_file(&qpath);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,54 @@
+//! Streaming-pipeline throughput: the bounded-memory file path
+//! (incremental decode → bounded channels → shard workers) end to end,
+//! measured against the same trace the materialized `pipeline` bench
+//! classifies. The sharded variant is the gated number — it is the
+//! production configuration of `experiments stream`.
+
+use adscope::stream::{classify_stream_file, StreamOptions};
+use bench::{bench_classifier, bench_ecosystem, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn streaming_pipeline(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+    let classifier = bench_classifier(&eco);
+    let trace = bench_trace(&eco);
+    let n = trace.http_count() as u64;
+
+    // One trace file on disk, shared by every iteration: the bench
+    // measures decode + route + classify, not trace generation.
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "bench-streaming-pipeline-{}.trace",
+        std::process::id()
+    ));
+    let file = std::fs::File::create(&path).expect("create bench trace file");
+    netsim::codec::write_trace(&trace, std::io::BufWriter::new(file)).expect("write bench trace");
+
+    let mut group = c.benchmark_group("streaming_pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n));
+
+    let run = |threads: usize| {
+        let opts = StreamOptions {
+            threads,
+            ..StreamOptions::default()
+        };
+        classify_stream_file(&path, &classifier, &opts, &obs::Registry::new())
+            .expect("stream classify")
+    };
+
+    group.bench_function("stream_file_1_thread", |b| b.iter(|| black_box(run(1))));
+
+    let threads = parallel::available_parallelism();
+    group.threads(threads);
+    group.bench_function("stream_file_sharded", |b| {
+        b.iter(|| black_box(run(threads)))
+    });
+    group.finish();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, streaming_pipeline);
+criterion_main!(benches);

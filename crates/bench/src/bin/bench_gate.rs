@@ -41,9 +41,10 @@ use std::fmt::Write as _;
 use std::process::exit;
 
 /// Gated benchmarks: (group, name, allowed latest/baseline ratio).
-const GATES: [(&str, &str, f64); 2] = [
+const GATES: [(&str, &str, f64); 3] = [
     ("trace_io", "read", 1.20),
     ("pipeline", "full_pipeline_sharded", 1.20),
+    ("streaming_pipeline", "stream_file_sharded", 1.20),
 ];
 
 /// Self-relative overhead gates within the latest run:

@@ -3,7 +3,7 @@
 
 use crate::activity::ActivityProfile;
 use crate::population::Population;
-use netsim::record::{Trace, TraceMeta};
+use netsim::record::{Trace, TraceMeta, TraceRecord};
 use netsim::Capture;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,6 +80,17 @@ pub struct DriveOutput {
     pub addr_map: std::collections::HashMap<u32, u32>,
 }
 
+/// Output of a streaming drive: everything [`DriveOutput`] carries except
+/// the trace itself, which was emitted batch-by-batch instead.
+pub struct StreamDriveOutput {
+    /// Metadata of the emitted trace.
+    pub meta: TraceMeta,
+    /// Ground truth parallel to `population.browsers`.
+    pub ground_truth: Vec<BrowserGroundTruth>,
+    /// Raw→anonymized address mapping (see [`DriveOutput::addr_map`]).
+    pub addr_map: std::collections::HashMap<u32, u32>,
+}
+
 /// Simulate the population and capture the traffic.
 ///
 /// Browsers are visited slice by slice; within a slice each browser draws a
@@ -92,6 +103,32 @@ pub fn drive(
     profile: &ActivityProfile,
     config: &DriveConfig,
 ) -> DriveOutput {
+    let mut records = Vec::new();
+    let out = drive_stream(eco, population, profile, config, |batch| {
+        records.extend(batch)
+    });
+    DriveOutput {
+        trace: Trace {
+            meta: out.meta,
+            records,
+        },
+        ground_truth: out.ground_truth,
+        addr_map: out.addr_map,
+    }
+}
+
+/// The streaming form of [`drive`]: identical simulation (same RNG
+/// sequence, same records in the same order), but the capture buffer is
+/// drained after every slice and handed to `emit` as time-ordered
+/// batches, so peak memory is one slice of traffic instead of the whole
+/// trace. [`drive`] is a thin collector over this function.
+pub fn drive_stream<F: FnMut(Vec<TraceRecord>)>(
+    eco: &Ecosystem,
+    population: &mut Population,
+    profile: &ActivityProfile,
+    config: &DriveConfig,
+    mut emit: F,
+) -> StreamDriveOutput {
     let registry = obs::global();
     let mut span = registry.span_with("browsersim_drive", &[("trace", &config.name)]);
     // Per-iteration tallies stay in locals; one atomic add per counter
@@ -111,6 +148,7 @@ pub fn drive(
     let mut was_active = vec![false; population.browsers.len()];
 
     let n_slices = (config.duration_secs / config.slice_secs).ceil() as usize;
+    let mut records_total = 0u64;
     for slice in 0..n_slices {
         let t0 = slice as f64 * config.slice_secs;
         // --- Browsers ---
@@ -176,13 +214,26 @@ pub fn drive(
                 }
             }
         }
+        // Everything below the next slice's start is final (no future
+        // event can be earlier) — flush it. Events spilling past the
+        // slice edge stay buffered until their cutoff passes.
+        let batch = capture.drain_before((slice + 1) as f64 * config.slice_secs);
+        if !batch.is_empty() {
+            records_total += batch.len() as u64;
+            emit(batch);
+        }
     }
     let (trace, addr_map) = capture.finish_with_mapping();
+    let meta = trace.meta;
+    if !trace.records.is_empty() {
+        records_total += trace.records.len() as u64;
+        emit(trace.records);
+    }
     let issued: u64 = ground_truth.iter().map(|g| g.issued).sum();
     let blocked: u64 = ground_truth.iter().map(|g| g.blocked).sum();
     span.count("page_visits", visits_total);
     span.count("device_bursts", bursts_total);
-    span.count("records", trace.records.len() as u64);
+    span.count("records", records_total);
     drop(span);
     registry
         .counter("browsersim_page_visits_total")
@@ -198,9 +249,9 @@ pub fn drive(
         .add(blocked);
     registry
         .counter("browsersim_trace_records_total")
-        .add(trace.records.len() as u64);
-    DriveOutput {
-        trace,
+        .add(records_total);
+    StreamDriveOutput {
+        meta,
         ground_truth,
         addr_map,
     }
@@ -328,6 +379,44 @@ mod tests {
         // Ground-truth ad share among *browser* requests is substantial.
         let share = ads as f64 / issued as f64;
         assert!((0.05..0.5).contains(&share), "ad share {share}");
+    }
+
+    #[test]
+    fn drive_stream_batches_concatenate_to_the_materialized_trace() {
+        let cfg = DriveConfig {
+            name: "S".into(),
+            duration_secs: 2.0 * 3600.0,
+            start_hour: 20,
+            start_weekday: 1,
+            slice_secs: 600.0,
+            seed: 17,
+        };
+        let (eco, mut pop) = tiny_world();
+        let materialized = drive(&eco, &mut pop, &ActivityProfile::default(), &cfg);
+        let (eco2, mut pop2) = tiny_world();
+        let mut batches: Vec<Vec<TraceRecord>> = Vec::new();
+        let out = drive_stream(&eco2, &mut pop2, &ActivityProfile::default(), &cfg, |b| {
+            batches.push(b)
+        });
+        assert!(
+            batches.len() > 1,
+            "multi-slice drive emits multiple batches"
+        );
+        // Batches are internally ordered and never overlap in time...
+        for pair in batches.windows(2) {
+            let last = pair[0].last().unwrap().ts();
+            let first = pair[1].first().unwrap().ts();
+            assert!(last <= first, "batch boundary out of order");
+        }
+        // ... and concatenate to exactly the materialized drive.
+        let concat: Vec<TraceRecord> = batches.into_iter().flatten().collect();
+        assert_eq!(concat, materialized.trace.records);
+        assert_eq!(out.meta, materialized.trace.meta);
+        assert_eq!(out.ground_truth.len(), materialized.ground_truth.len());
+        for (a, b) in out.ground_truth.iter().zip(&materialized.ground_truth) {
+            assert_eq!(a.issued, b.issued);
+            assert_eq!(a.blocked, b.blocked);
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use active::{ActiveConfig, ActiveResults, BrowserProfile};
 pub use activity::ActivityProfile;
 pub use adblockplus::{AbpConfig, AdblockPlusPlugin};
 pub use browser::{Browser, PageVisitStats};
-pub use drive::{DriveConfig, DriveOutput};
+pub use drive::{drive_stream, DriveConfig, DriveOutput, StreamDriveOutput};
 pub use ghostery::{GhosteryMode, GhosteryPlugin};
 pub use plugin::{ListDownload, Plugin};
 pub use population::{Population, PopulationConfig};

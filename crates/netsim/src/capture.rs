@@ -163,6 +163,23 @@ impl Capture {
         self.records.is_empty()
     }
 
+    /// Drain all records with `ts < cutoff`, sorted by time — the
+    /// streaming generator's per-slice flush.
+    ///
+    /// Safe once the simulation guarantees no future event can carry a
+    /// timestamp below `cutoff`. Ties share a timestamp, so they can
+    /// never straddle a cutoff, and the stable sort here preserves
+    /// capture order within them — concatenating every drained batch
+    /// with the final [`Capture::finish`] yields byte-for-byte the
+    /// record sequence a materialized capture would have produced.
+    pub fn drain_before(&mut self, cutoff: f64) -> Vec<TraceRecord> {
+        self.records.sort_by(|a, b| a.ts().total_cmp(&b.ts()));
+        let n = self
+            .records
+            .partition_point(|r| r.ts().total_cmp(&cutoff).is_lt());
+        self.records.drain(..n).collect()
+    }
+
     /// Finish the capture: sort records by time and produce the [`Trace`].
     pub fn finish(self) -> Trace {
         self.finish_with_mapping().0
@@ -289,6 +306,26 @@ mod tests {
         let trace = cap.finish();
         let t = trace.http_transactions().next().unwrap();
         assert!(t.backend_gap_ms() > 80.0, "gap {}", t.backend_gap_ms());
+    }
+
+    #[test]
+    fn drain_before_matches_materialized_order() {
+        // Two captures fed identically: one drained incrementally, one
+        // finished in a single shot.
+        let mut incremental = Capture::new(meta(), 1);
+        let mut materialized = Capture::new(meta(), 1);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let times = [5.0, 1.0, 3.0, 3.0, 9.0, 6.0, 12.0, 10.5, 10.5];
+        for (i, &ts) in times.iter().enumerate() {
+            incremental.observe(&event(ts, 10 + i as u32 % 3, 20, i % 4 == 0), &mut rng_a);
+            materialized.observe(&event(ts, 10 + i as u32 % 3, 20, i % 4 == 0), &mut rng_b);
+        }
+        let mut streamed = incremental.drain_before(4.0);
+        assert_eq!(streamed.len(), 3, "1.0, 3.0, 3.0 fall before the cutoff");
+        streamed.extend(incremental.drain_before(10.0));
+        streamed.extend(incremental.finish().records);
+        assert_eq!(streamed, materialized.finish().records);
     }
 
     #[test]

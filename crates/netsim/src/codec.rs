@@ -76,7 +76,7 @@ impl From<io::Error> for CodecError {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn encode_meta(out: &mut String, m: &TraceMeta) {
+pub(crate) fn encode_meta(out: &mut String, m: &TraceMeta) {
     out.push_str("{\"name\":");
     json::write_str(out, &m.name);
     out.push_str(",\"duration_secs\":");
@@ -89,7 +89,7 @@ fn encode_meta(out: &mut String, m: &TraceMeta) {
     );
 }
 
-fn encode_record(out: &mut String, r: &TraceRecord) {
+pub(crate) fn encode_record(out: &mut String, r: &TraceRecord) {
     use std::fmt::Write as _;
     match r {
         TraceRecord::Http(t) => {
@@ -135,6 +135,15 @@ fn encode_record(out: &mut String, r: &TraceRecord) {
             );
         }
     }
+}
+
+/// Encode one record as its NDJSON line (newline excluded) — the exact
+/// bytes [`write_trace`] would emit for it. The quarantine sidecar uses
+/// this so quarantined lines stay replayable through any trace reader.
+pub fn record_to_json(r: &TraceRecord) -> String {
+    let mut out = String::with_capacity(256);
+    encode_record(&mut out, r);
+    out
 }
 
 /// Write a trace to any sink.

@@ -28,6 +28,9 @@
 //! * [`parallel`] — chunked multi-core decode over the same codec:
 //!   byte-identical to the sequential readers, with per-chunk
 //!   [`codec::CodecStats`] merged exactly.
+//! * [`stream`] — incremental chunk-by-chunk decode with byte-offset
+//!   accounting (the checkpoint/resume substrate) and a record-at-a-time
+//!   [`stream::TraceWriter`] dual of [`codec::write_trace`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod nat;
 pub mod parallel;
 pub mod record;
 pub mod rtt;
+pub mod stream;
 
 pub use anonymize::Anonymizer;
 pub use capture::{Capture, RequestEvent};

@@ -1,0 +1,486 @@
+//! Incremental trace streaming: chunk-by-chunk decode and record-by-record
+//! encode, with byte-offset accounting for checkpoint/resume.
+//!
+//! [`crate::codec::TraceReader`] already decodes without materializing the
+//! trace, but it neither batches records (the unit the streaming pipeline
+//! sends over its bounded channels) nor tracks how many input bytes each
+//! record consumed (the unit a checkpoint manifest must store to resume a
+//! killed run). [`ChunkReader`] adds both while reusing the codec's exact
+//! per-line keep/skip verdict ([`crate::codec::decode_line_lossy`]) and
+//! header-recovery policy, so a chunked read yields byte-for-byte the same
+//! records and [`CodecStats`] totals as the one-shot lossy reader.
+//!
+//! [`TraceWriter`] is the encode-side dual: it emits the same bytes as
+//! [`crate::codec::write_trace`] one record at a time, so the generator
+//! can persist a trace while streaming it without a full-trace `Vec`.
+
+use crate::codec::{
+    self, CodecError, CodecStats, LossyLine, ReaderMetrics, FORMAT_NAME, FORMAT_VERSION,
+    MAX_LINE_BYTES,
+};
+use crate::json;
+use crate::record::{TraceMeta, TraceRecord};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// One decoded batch of records plus its accounting.
+#[derive(Debug)]
+pub struct StreamChunk {
+    /// 0-based chunk sequence number.
+    pub seq: u64,
+    /// Records decoded from this span of the stream, in stream order.
+    pub records: Vec<TraceRecord>,
+    /// Skip/keep accounting for this chunk only (a delta; the header
+    /// recovery flag, if any, lands on chunk 0).
+    pub stats: CodecStats,
+    /// Byte offset just past the last line this chunk consumed — a safe
+    /// resume point for [`ChunkReader::resume`].
+    pub end_offset: u64,
+}
+
+/// Like the codec's capped line read, but also reports how many input
+/// bytes the line consumed (newline included) so the caller can maintain
+/// an exact byte offset for resume.
+fn read_line_counted<R: BufRead>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<Option<(bool, u64)>> {
+    buf.clear();
+    let mut seen_any = false;
+    let mut overflow = false;
+    let mut consumed_total = 0u64;
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(seen_any.then_some((overflow, consumed_total)));
+        }
+        seen_any = true;
+        let (take, consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(idx) => (&chunk[..idx], idx + 1, true),
+            None => (chunk, chunk.len(), false),
+        };
+        let room = cap.saturating_sub(buf.len());
+        if take.len() > room {
+            overflow = true;
+            buf.extend_from_slice(&take[..room]);
+        } else {
+            buf.extend_from_slice(take);
+        }
+        r.consume(consumed);
+        consumed_total += consumed as u64;
+        if done {
+            return Ok(Some((overflow, consumed_total)));
+        }
+    }
+}
+
+/// A loss-tolerant chunked trace reader with byte-offset accounting.
+///
+/// Same decode policy as [`crate::codec::TraceReader`] — corrupt lines are
+/// skipped and tallied, a damaged header is replaced with placeholder
+/// metadata — but records arrive in batches of up to `chunk_records`, each
+/// carrying the byte offset of its end so a checkpoint can name an exact
+/// resume point.
+pub struct ChunkReader<R: Read> {
+    reader: BufReader<R>,
+    meta: TraceMeta,
+    chunk_records: usize,
+    /// Byte offset just past the last consumed line.
+    offset: u64,
+    seq: u64,
+    /// Header-recovery flag awaiting the first chunk's stats.
+    pending_header_recovered: bool,
+    done: bool,
+    buf: Vec<u8>,
+    metrics: ReaderMetrics,
+}
+
+impl<R: Read> ChunkReader<R> {
+    /// Open a trace stream from its start (header line included); only an
+    /// I/O error on the header line is fatal.
+    pub fn new(source: R, chunk_records: usize) -> Result<ChunkReader<R>, CodecError> {
+        ChunkReader::with_registry(source, chunk_records, obs::global())
+    }
+
+    /// Like [`ChunkReader::new`], recording metrics into `registry`.
+    pub fn with_registry(
+        source: R,
+        chunk_records: usize,
+        registry: &obs::Registry,
+    ) -> Result<ChunkReader<R>, CodecError> {
+        let metrics = ReaderMetrics::bind(registry);
+        let mut reader = BufReader::new(source);
+        let mut buf = Vec::new();
+        let mut offset = 0u64;
+        let mut header_recovered = false;
+        let first = read_line_counted(&mut reader, &mut buf, MAX_LINE_BYTES)?;
+        let meta = match first {
+            Some((false, consumed)) => {
+                offset = consumed;
+                let text = String::from_utf8_lossy(&buf);
+                match codec::decode_header(&text) {
+                    Ok(meta) => meta,
+                    Err(_) => {
+                        header_recovered = true;
+                        codec::recovered_meta()
+                    }
+                }
+            }
+            Some((true, consumed)) => {
+                offset = consumed;
+                header_recovered = true;
+                codec::recovered_meta()
+            }
+            None => {
+                header_recovered = true;
+                codec::recovered_meta()
+            }
+        };
+        Ok(ChunkReader {
+            reader,
+            meta,
+            chunk_records: chunk_records.max(1),
+            offset,
+            seq: 0,
+            pending_header_recovered: header_recovered,
+            done: false,
+            buf,
+            metrics,
+        })
+    }
+
+    /// Resume mid-stream: `source` must already be positioned at `offset`
+    /// (a prior chunk's `end_offset`), with `meta` and `seq` restored from
+    /// the checkpoint manifest. No header line is expected or consumed.
+    pub fn resume(
+        source: R,
+        meta: TraceMeta,
+        offset: u64,
+        seq: u64,
+        chunk_records: usize,
+        registry: &obs::Registry,
+    ) -> ChunkReader<R> {
+        ChunkReader {
+            reader: BufReader::new(source),
+            meta,
+            chunk_records: chunk_records.max(1),
+            offset,
+            seq,
+            pending_header_recovered: false,
+            done: false,
+            buf: Vec::new(),
+            metrics: ReaderMetrics::bind(registry),
+        }
+    }
+
+    /// Trace metadata from the header (or the recovery placeholder, or
+    /// the checkpoint on resume).
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Byte offset just past the last consumed line.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Decode the next chunk, or `None` at end of stream. Every chunk
+    /// holds at least one record except when trailing corrupt/blank lines
+    /// leave a final chunk carrying only their accounting.
+    pub fn next_chunk(&mut self) -> Option<StreamChunk> {
+        if self.done {
+            return None;
+        }
+        let mut stats = CodecStats {
+            header_recovered: std::mem::take(&mut self.pending_header_recovered),
+            ..CodecStats::default()
+        };
+        let mut records = Vec::with_capacity(self.chunk_records);
+        while records.len() < self.chunk_records {
+            let read = read_line_counted(&mut self.reader, &mut self.buf, MAX_LINE_BYTES);
+            let (overflow, consumed) = match read {
+                Ok(Some(pair)) => pair,
+                Ok(None) => {
+                    self.done = true;
+                    break;
+                }
+                Err(_) => {
+                    stats.io_errors += 1;
+                    self.done = true;
+                    break;
+                }
+            };
+            self.offset += consumed;
+            match codec::decode_line_lossy(&self.buf, overflow) {
+                LossyLine::Record(rec) => {
+                    stats.records_read += 1;
+                    self.metrics.records.inc();
+                    self.metrics.bytes.add(consumed);
+                    records.push(rec);
+                }
+                LossyLine::Blank => stats.blank_lines += 1,
+                LossyLine::BadJson => {
+                    stats.skipped_bad_json += 1;
+                    self.metrics.resync_bad_json.inc();
+                }
+                LossyLine::BadSchema => {
+                    stats.skipped_bad_schema += 1;
+                    self.metrics.resync_bad_schema.inc();
+                }
+                LossyLine::NonUtf8 => {
+                    stats.skipped_non_utf8 += 1;
+                    self.metrics.resync_non_utf8.inc();
+                }
+                LossyLine::Oversize => {
+                    stats.skipped_oversize += 1;
+                    self.metrics.resync_oversize.inc();
+                }
+            }
+        }
+        if records.is_empty() && self.done && stats == CodecStats::default() {
+            return None;
+        }
+        let chunk = StreamChunk {
+            seq: self.seq,
+            records,
+            stats,
+            end_offset: self.offset,
+        };
+        self.seq += 1;
+        Some(chunk)
+    }
+}
+
+impl<R: Read> Iterator for ChunkReader<R> {
+    type Item = StreamChunk;
+    fn next(&mut self) -> Option<StreamChunk> {
+        self.next_chunk()
+    }
+}
+
+/// Incremental trace writer — the streaming dual of
+/// [`crate::codec::write_trace`], producing byte-identical output.
+pub struct TraceWriter<W: Write> {
+    sink: BufWriter<W>,
+    line: String,
+    records: u64,
+    bytes: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start a trace: writes the header line immediately.
+    pub fn new(sink: W, meta: &TraceMeta) -> Result<TraceWriter<W>, CodecError> {
+        let mut w = BufWriter::new(sink);
+        let mut line = String::with_capacity(512);
+        line.push_str("{\"format\":");
+        json::write_str(&mut line, FORMAT_NAME);
+        use std::fmt::Write as _;
+        let _ = write!(line, ",\"version\":{FORMAT_VERSION},\"meta\":");
+        codec::encode_meta(&mut line, meta);
+        line.push_str("}\n");
+        w.write_all(line.as_bytes())?;
+        let bytes = line.len() as u64;
+        Ok(TraceWriter {
+            sink: w,
+            line,
+            records: 0,
+            bytes,
+        })
+    }
+
+    /// Append one record line.
+    pub fn write_record(&mut self, r: &TraceRecord) -> Result<(), CodecError> {
+        self.line.clear();
+        codec::encode_record(&mut self.line, r);
+        self.line.push('\n');
+        self.sink.write_all(self.line.as_bytes())?;
+        self.records += 1;
+        self.bytes += self.line.len() as u64;
+        Ok(())
+    }
+
+    /// Flush and finish, recording write totals into the global [`obs`]
+    /// registry (same counters as the one-shot writer). Returns
+    /// `(records, bytes)` written.
+    pub fn finish(mut self) -> Result<(u64, u64), CodecError> {
+        self.sink.flush()?;
+        let registry = obs::global();
+        registry
+            .counter("netsim_records_written_total")
+            .add(self.records);
+        registry
+            .counter("netsim_bytes_written_total")
+            .add(self.bytes);
+        Ok((self.records, self.bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_trace_lossy, write_trace};
+    use crate::record::{TlsConnection, Trace};
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::{HttpTransaction, Method};
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            name: "RBN-S".into(),
+            duration_secs: 90.0,
+            subscribers: 4,
+            start_hour: 15,
+            start_weekday: 2,
+        }
+    }
+
+    fn records(n: usize) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                if i % 5 == 4 {
+                    TraceRecord::Https(TlsConnection {
+                        ts: i as f64,
+                        client_ip: 7,
+                        server_ip: 9,
+                        server_port: 443,
+                        bytes: 4000 + i as u64,
+                    })
+                } else {
+                    TraceRecord::Http(HttpTransaction {
+                        ts: i as f64,
+                        client_ip: 1 + (i as u32 % 3),
+                        server_ip: 50,
+                        server_port: 80,
+                        method: Method::Get,
+                        request: RequestHeaders {
+                            host: format!("h{i}.example"),
+                            uri: format!("/p/{i}?q=\"x\""),
+                            referer: (i % 2 == 0).then(|| "http://r.example/".into()),
+                            user_agent: Some("UA/1.0".into()),
+                        },
+                        response: ResponseHeaders {
+                            status: 200,
+                            content_type: Some("text/html".into()),
+                            content_length: Some(100 + i as u64),
+                            location: None,
+                        },
+                        tcp_handshake_ms: 1.5,
+                        http_handshake_ms: 7.25,
+                    })
+                }
+            })
+            .collect()
+    }
+
+    fn encoded(n: usize) -> Vec<u8> {
+        let trace = Trace {
+            meta: meta(),
+            records: records(n),
+        };
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn chunked_concat_equals_lossy_read() {
+        let buf = encoded(23);
+        let (whole, whole_stats) = read_trace_lossy(buf.as_slice()).unwrap();
+        let mut reader = ChunkReader::new(buf.as_slice(), 7).unwrap();
+        assert_eq!(reader.meta(), &whole.meta);
+        let mut all = Vec::new();
+        let mut merged = CodecStats::default();
+        for chunk in reader.by_ref() {
+            assert!(chunk.records.len() <= 7);
+            merged.merge(&chunk.stats);
+            all.extend(chunk.records);
+        }
+        assert_eq!(all, whole.records);
+        assert_eq!(merged, whole_stats);
+        assert_eq!(reader.offset(), buf.len() as u64);
+    }
+
+    #[test]
+    fn chunk_offsets_are_resume_points() {
+        let buf = encoded(20);
+        let mut reader = ChunkReader::new(buf.as_slice(), 6).unwrap();
+        let first = reader.next_chunk().unwrap();
+        assert_eq!(first.seq, 0);
+        let rest_direct: Vec<TraceRecord> = reader.flat_map(|c| c.records).collect();
+
+        // Re-open at first.end_offset and confirm the same remainder.
+        let resumed = ChunkReader::resume(
+            &buf[first.end_offset as usize..],
+            meta(),
+            first.end_offset,
+            first.seq + 1,
+            6,
+            &obs::Registry::new(),
+        );
+        let mut seqs = Vec::new();
+        let mut rest_resumed = Vec::new();
+        for c in resumed {
+            seqs.push(c.seq);
+            rest_resumed.extend(c.records);
+        }
+        assert_eq!(rest_resumed, rest_direct);
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn corrupt_lines_and_header_counted_like_lossy_reader() {
+        let mut buf = encoded(10);
+        // Destroy the header and inject garbage mid-stream.
+        let nl = buf.iter().position(|&b| b == b'\n').unwrap();
+        for b in &mut buf[..nl] {
+            *b = b'#';
+        }
+        buf.extend_from_slice(b"not json\n\xff\xfe\n\n");
+        let (whole, whole_stats) = read_trace_lossy(buf.as_slice()).unwrap();
+        let mut reader = ChunkReader::new(buf.as_slice(), 4).unwrap();
+        assert_eq!(reader.meta().name, "<recovered>");
+        let mut merged = CodecStats::default();
+        let mut all = Vec::new();
+        let mut first = true;
+        for chunk in reader.by_ref() {
+            assert_eq!(
+                chunk.stats.header_recovered, first,
+                "recovery flag rides on chunk 0 only"
+            );
+            first = false;
+            merged.merge(&chunk.stats);
+            all.extend(chunk.records);
+        }
+        assert_eq!(all, whole.records);
+        assert_eq!(merged, whole_stats);
+    }
+
+    #[test]
+    fn empty_stream_yields_one_recovery_chunk() {
+        let mut reader = ChunkReader::new(io::empty(), 8).unwrap();
+        let chunk = reader.next_chunk().unwrap();
+        assert!(chunk.records.is_empty());
+        assert!(chunk.stats.header_recovered);
+        assert!(reader.next_chunk().is_none());
+    }
+
+    #[test]
+    fn trace_writer_matches_one_shot_writer() {
+        let recs = records(15);
+        let trace = Trace {
+            meta: meta(),
+            records: recs.clone(),
+        };
+        let mut whole = Vec::new();
+        write_trace(&trace, &mut whole).unwrap();
+
+        let mut streamed = Vec::new();
+        let mut w = TraceWriter::new(&mut streamed, &meta()).unwrap();
+        for r in &recs {
+            w.write_record(r).unwrap();
+        }
+        let (n, bytes) = w.finish().unwrap();
+        assert_eq!(n, 15);
+        assert_eq!(bytes, streamed.len() as u64);
+        assert_eq!(streamed, whole);
+    }
+}

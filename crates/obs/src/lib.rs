@@ -35,6 +35,7 @@
 
 pub mod events;
 pub mod metric;
+pub mod process;
 pub mod profile;
 pub mod prometheus;
 pub mod registry;
@@ -45,6 +46,7 @@ pub mod window;
 
 pub use events::{Event, EventLog, FieldValue};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use process::{peak_rss_bytes, record_peak_rss};
 pub use profile::{NodeStats, ProfileStore};
 pub use prometheus::{escape_label, unescape_label, validate_exposition};
 pub use registry::{MetricKey, Registry, SampleValue, Snapshot};

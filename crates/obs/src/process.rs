@@ -1,0 +1,66 @@
+//! Process-level resource metrics.
+//!
+//! The streaming pipeline's whole point is a flat memory profile, so the
+//! proof has to be observable: `process_peak_rss_bytes` exposes the
+//! high-water-mark resident set (Linux `VmHWM`) on `/metrics`, and the
+//! CI streaming pass asserts a ceiling on it. On platforms without
+//! `/proc` the reading is simply absent — a no-op, never an error.
+
+use crate::registry::Registry;
+
+/// Peak resident set size of this process in bytes, from
+/// `/proc/self/status` (`VmHWM`). `None` where `/proc` does not exist
+/// (non-Linux) or the field is missing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            // Format: "VmHWM:     123456 kB".
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Refresh the `process_peak_rss_bytes` gauge on `registry`. Call before
+/// serving a scrape or printing a metrics table; no-op where the reading
+/// is unavailable.
+pub fn record_peak_rss(registry: &Registry) {
+    if let Some(bytes) = peak_rss_bytes() {
+        registry.gauge("process_peak_rss_bytes").set(bytes as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reads_a_plausible_value() {
+        let bytes = peak_rss_bytes().expect("linux exposes VmHWM");
+        // More than a page, less than a terabyte.
+        assert!(bytes > 4096, "peak rss {bytes}");
+        assert!(bytes < 1 << 40, "peak rss {bytes}");
+    }
+
+    #[test]
+    fn record_peak_rss_sets_the_gauge_on_linux_only() {
+        let r = Registry::new();
+        record_peak_rss(&r);
+        let snap = r.snapshot();
+        match peak_rss_bytes() {
+            Some(bytes) => {
+                let got = match snap.get("process_peak_rss_bytes", &[]) {
+                    Some(crate::registry::SampleValue::Gauge(v)) => *v,
+                    other => panic!("expected gauge, got {other:?}"),
+                };
+                // The gauge may lag a subsequent allocation, never lead it.
+                assert!(got as u64 <= bytes);
+                assert!(got > 0.0);
+            }
+            None => assert!(snap.get("process_peak_rss_bytes", &[]).is_none()),
+        }
+    }
+}

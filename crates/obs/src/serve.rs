@@ -191,11 +191,16 @@ fn route(
              /quitz          request clean shutdown\n"
                 .to_string(),
         ),
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            registry.render_prometheus(),
-        ),
+        "/metrics" => {
+            // Refresh point-in-time process gauges so every scrape sees
+            // the current high-water mark, not the value at publish time.
+            crate::process::record_peak_rss(registry);
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render_prometheus(),
+            )
+        }
         "/healthz" => (
             "200 OK",
             "application/json",

@@ -29,6 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
+
+pub use channel::{bounded, ChannelStats, Receiver, SendError, Sender};
+
 use std::collections::VecDeque;
 use std::sync::Mutex;
 

@@ -1106,6 +1106,18 @@ fn metrics(world: &mut World) -> String {
         counters.row(&[label, fmt_count(*v)]);
     }
 
+    // Process-level gauges, refreshed at render time so the table and
+    // the exposition artifact agree on the same reading.
+    obs::record_peak_rss(registry);
+    let mut process = TextTable::new("Process", &["Gauge", "Value"]);
+    process.row(&[
+        "process_peak_rss_bytes".to_string(),
+        match obs::peak_rss_bytes() {
+            Some(b) => format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+            None => "n/a (no /proc)".to_string(),
+        },
+    ]);
+
     // The two sink artifacts, validated before they are written: the
     // exposition by obs's own parser, the event log line-by-line with
     // netsim's strict JSON parser (the escaping-compatibility contract).
@@ -1125,10 +1137,11 @@ fn metrics(world: &mut World) -> String {
 
     format!(
         "## Metrics — per-stage observability exposition\n\
-         {}\n{}\n\
+         {}\n{}\n{}\n\
          exposition: VALID ({samples} samples) -> target/experiments/metrics.prom\n\
          event log:  VALID ({events} events)   -> target/experiments/events.ndjson\n",
         stages.render(),
         counters.render(),
+        process.render(),
     )
 }

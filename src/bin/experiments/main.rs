@@ -6,6 +6,8 @@
 //! experiments temporal [--trace <file>] [--width SECS] [--scale ...]
 //! experiments serve --port N [--port-file PATH] [--pace SECS] [--scale ...]
 //! experiments fetch --port N --path <p> [--retries N] [--check-metrics]
+//! experiments stream --trace PATH | --rbn1 | --rbn2 [--write-trace PATH]
+//!                    [--checkpoint-dir D] [--resume] [--quarantine PATH] [...]
 //!
 //! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
 //!      fig6 sec73 sec81 table5 fig7 sensitivity validation robustness all
@@ -22,6 +24,7 @@
 mod experiments;
 mod explain;
 mod serve;
+mod stream;
 mod temporal;
 mod world;
 
@@ -41,6 +44,7 @@ fn main() {
         Some("temporal") => temporal::run(&args[1..]),
         Some("serve") => serve::run_serve(&args[1..]),
         Some("fetch") => serve::run_fetch(&args[1..]),
+        Some("stream") => stream::run(&args[1..]),
         _ => {}
     }
     let mut ids: Vec<String> = Vec::new();
@@ -123,6 +127,9 @@ fn usage(err: &str) -> ! {
          \x20      experiments temporal [--trace <file>] [--width SECS]\n\
          \x20      experiments serve --port N [--port-file PATH] [--pace SECS]\n\
          \x20      experiments fetch --port N --path <p> [--retries N] [--check-metrics]\n\
+         \x20      experiments stream --trace PATH | --rbn1 | --rbn2 [--write-trace PATH]\n\
+         \x20          [--checkpoint-dir D] [--checkpoint-every N] [--resume] [--quarantine PATH]\n\
+         \x20          [--report PATH] [--chunk-records N] [--stop-after-chunks N] [--throttle-ms N]\n\
          ids: {} all",
         experiments::ALL_IDS.join(" ")
     );

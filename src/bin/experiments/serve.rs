@@ -233,8 +233,27 @@ pub fn run_fetch(args: &[String]) -> ! {
 }
 
 /// One HTTP/1.1 GET over a fresh connection; returns (status, body).
+///
+/// Connecting uses a bounded timeout and up to three attempts with
+/// exponential backoff (100/200/400 ms), so a server mid-restart costs
+/// under a second instead of hanging a CI job on a blocking connect.
 fn fetch_once(port: u16, path: &str) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    let addr = std::net::SocketAddr::from(([127, 0, 0, 1], port));
+    let mut stream = {
+        let mut backoff = Duration::from_millis(100);
+        let mut attempt = 1;
+        loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+                Ok(s) => break s,
+                Err(_) if attempt < 3 => {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    };
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     write!(
         stream,

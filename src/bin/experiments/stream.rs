@@ -1,0 +1,340 @@
+//! `experiments stream` — the fault-tolerant streaming pipeline driver.
+//!
+//! ```text
+//! experiments stream --trace PATH [--checkpoint-dir D [--checkpoint-every N] [--resume]]
+//! experiments stream --rbn1|--rbn2 [--write-trace PATH] [--scale ...] [--seed N]
+//! common: [--chunk-records N] [--threads N] [--quarantine PATH] [--report PATH]
+//!         [--throttle-ms N] [--stop-after-chunks N]
+//! ```
+//!
+//! Three source modes:
+//!
+//! * `--trace PATH` — stream-classify an existing trace file in bounded
+//!   memory. The only mode supporting `--checkpoint-dir`/`--resume`
+//!   (checkpoints record byte offsets into the file).
+//! * `--rbn1`/`--rbn2 --write-trace PATH` — *generate* the RBN trace
+//!   slice-by-slice straight to disk (never materializing it), then
+//!   stream-classify the file. Checkpointing works here too.
+//! * `--rbn1`/`--rbn2` alone — wire the generator to the classifier
+//!   through a bounded channel: records flow generator → router →
+//!   shard workers with no file and no full-trace buffer anywhere.
+//!
+//! The final report is printed to stdout; `--report PATH` additionally
+//! writes the deterministic [`adscope::StreamReport::render`] form,
+//! which a kill-and-resume run reproduces byte-identically (CI asserts
+//! exactly that). Peak RSS goes to stderr for the CI memory ceiling.
+
+use crate::world::Scale;
+use adscope::stream::{classify_stream_chunks, classify_stream_file};
+use adscope::{CheckpointOptions, PassiveClassifier, StreamOptions, StreamReport};
+use annoyed_users::prelude::*;
+use browsersim::drive::drive_stream;
+use netsim::codec::CodecStats;
+use netsim::record::TraceMeta;
+use netsim::stream::{StreamChunk, TraceWriter};
+use std::path::PathBuf;
+
+enum Source {
+    TraceFile(PathBuf),
+    Rbn1,
+    Rbn2,
+}
+
+/// Entry point for the `stream` subcommand. Exits the process.
+pub fn run(args: &[String]) -> ! {
+    let mut source: Option<Source> = None;
+    let mut write_trace: Option<PathBuf> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every: u64 = 64;
+    let mut resume = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut scale = Scale::Small;
+    let mut seed: u64 = 0x5eed;
+    let mut opts = StreamOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                let p = args.get(i).unwrap_or_else(|| fail("missing --trace path"));
+                source = Some(Source::TraceFile(PathBuf::from(p)));
+            }
+            "--rbn1" => source = Some(Source::Rbn1),
+            "--rbn2" => source = Some(Source::Rbn2),
+            "--write-trace" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("missing --write-trace path"));
+                write_trace = Some(PathBuf::from(p));
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("missing --checkpoint-dir path"));
+                checkpoint_dir = Some(PathBuf::from(p));
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("bad --checkpoint-every value"));
+            }
+            "--resume" => resume = true,
+            "--quarantine" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("missing --quarantine path"));
+                opts.quarantine_path = Some(PathBuf::from(p));
+            }
+            "--report" => {
+                i += 1;
+                let p = args.get(i).unwrap_or_else(|| fail("missing --report path"));
+                report_path = Some(PathBuf::from(p));
+            }
+            "--chunk-records" => {
+                i += 1;
+                opts.chunk_records = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("bad --chunk-records value"));
+            }
+            "--throttle-ms" => {
+                i += 1;
+                opts.throttle_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("bad --throttle-ms value"));
+            }
+            "--stop-after-chunks" => {
+                i += 1;
+                opts.stop_after_chunks = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| fail("bad --stop-after-chunks value")),
+                );
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| fail("bad --scale value"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("bad --seed value"));
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("bad --threads value"));
+            }
+            other => fail(&format!("unknown stream argument {other:?}")),
+        }
+        i += 1;
+    }
+    let Some(source) = source else {
+        fail("stream requires a source: --trace PATH, --rbn1, or --rbn2");
+    };
+    if let Some(dir) = checkpoint_dir {
+        opts.checkpoint = Some(CheckpointOptions {
+            dir,
+            every_chunks: checkpoint_every,
+            resume,
+        });
+    } else if resume {
+        fail("--resume requires --checkpoint-dir");
+    }
+
+    // The classifier is derived from the generated ecosystem's filter
+    // lists, exactly as the materialized experiments build it — the same
+    // scale and seed reproduce the same lists, so a trace written by one
+    // invocation classifies identically in another.
+    let (publishers, ad_companies, trackers, ..) = scale.knobs();
+    let eco = Ecosystem::generate(EcosystemConfig {
+        publishers,
+        ad_companies,
+        trackers,
+        seed,
+        ..Default::default()
+    });
+    let classifier = PassiveClassifier::new(vec![
+        eco.lists.easylist(),
+        eco.lists.regional(),
+        eco.lists.easyprivacy(),
+        eco.lists.acceptable(),
+    ]);
+    let registry = obs::global();
+
+    let report = match source {
+        Source::TraceFile(path) => {
+            eprintln!("[stream] classifying {} in streaming mode", path.display());
+            classify_stream_file(&path, &classifier, &opts, registry)
+        }
+        rbn => {
+            let (.., rbn2_households, rbn2_hours, rbn1_households, rbn1_days) = scale.knobs();
+            let (config, households, pop_seed) = match rbn {
+                Source::Rbn1 => (DriveConfig::rbn1(rbn1_days), rbn1_households, 0xB51),
+                _ => (DriveConfig::rbn2(rbn2_hours), rbn2_households, 0xB52),
+            };
+            let mut pop = Population::generate(
+                &eco,
+                &PopulationConfig {
+                    households,
+                    seed: pop_seed,
+                    ..Default::default()
+                },
+            );
+            match write_trace {
+                Some(path) => {
+                    // Generate straight to disk, slice by slice, then
+                    // stream-classify the file (checkpointable).
+                    eprintln!(
+                        "[stream] generating {} to {} ({} households)",
+                        config.name,
+                        path.display(),
+                        households
+                    );
+                    let meta = TraceMeta {
+                        name: config.name.clone(),
+                        duration_secs: config.duration_secs,
+                        subscribers: households,
+                        start_hour: config.start_hour,
+                        start_weekday: config.start_weekday,
+                    };
+                    let file = std::fs::File::create(&path)
+                        .unwrap_or_else(|e| fail(&format!("cannot create trace file: {e}")));
+                    let mut writer = TraceWriter::new(std::io::BufWriter::new(file), &meta)
+                        .unwrap_or_else(|e| fail(&format!("trace header write: {e}")));
+                    let mut write_err = None;
+                    drive_stream(
+                        &eco,
+                        &mut pop,
+                        &ActivityProfile::default(),
+                        &config,
+                        |batch| {
+                            if write_err.is_some() {
+                                return;
+                            }
+                            for r in &batch {
+                                if let Err(e) = writer.write_record(r) {
+                                    write_err = Some(e);
+                                    break;
+                                }
+                            }
+                        },
+                    );
+                    if let Some(e) = write_err {
+                        fail(&format!("trace write failed: {e}"));
+                    }
+                    let (records, bytes) = writer
+                        .finish()
+                        .unwrap_or_else(|e| fail(&format!("trace finish failed: {e}")));
+                    eprintln!("[stream] wrote {records} records ({bytes} bytes)");
+                    classify_stream_file(&path, &classifier, &opts, registry)
+                }
+                None => {
+                    // No file anywhere: generator thread feeds the
+                    // classifier over a bounded channel (a full queue
+                    // pauses the simulation — backpressure end to end).
+                    if opts.checkpoint.is_some() {
+                        fail("checkpointing requires a trace file; add --write-trace PATH");
+                    }
+                    eprintln!(
+                        "[stream] piping {} generator -> classifier ({} households)",
+                        config.name, households
+                    );
+                    let meta = TraceMeta {
+                        name: config.name.clone(),
+                        duration_secs: config.duration_secs,
+                        subscribers: households,
+                        start_hour: config.start_hour,
+                        start_weekday: config.start_weekday,
+                    };
+                    let (tx, rx) = parallel::bounded::<Vec<netsim::record::TraceRecord>>(4);
+                    std::thread::scope(|scope| {
+                        let eco = &eco;
+                        let config = &config;
+                        let pop = &mut pop;
+                        scope.spawn(move || {
+                            drive_stream(eco, pop, &ActivityProfile::default(), config, |batch| {
+                                // A dead receiver means the classifier
+                                // failed; drop remaining batches.
+                                let _ = tx.send(batch);
+                            });
+                        });
+                        let chunks = rx
+                            .into_iter()
+                            .enumerate()
+                            .map(|(seq, records)| StreamChunk {
+                                seq: seq as u64,
+                                stats: CodecStats {
+                                    records_read: records.len(),
+                                    ..CodecStats::default()
+                                },
+                                end_offset: 0,
+                                records,
+                            });
+                        classify_stream_chunks(chunks, meta, &classifier, &opts, registry)
+                    })
+                }
+            }
+        }
+    };
+
+    let report = report.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    finish(&report, report_path.as_deref())
+}
+
+fn finish(report: &StreamReport, report_path: Option<&std::path::Path>) -> ! {
+    let rendered = report.render();
+    println!("{rendered}");
+    if report.stopped_early {
+        eprintln!(
+            "[stream] stopped early after --stop-after-chunks (checkpoints written: {})",
+            report.checkpoints_written
+        );
+    }
+    if let Some(off) = report.resumed_from {
+        eprintln!("[stream] resumed from byte offset {off}");
+    }
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("error: cannot write report {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[stream] report written to {}", path.display());
+    }
+    // Machine-parseable for the CI memory ceiling.
+    if let Some(bytes) = obs::peak_rss_bytes() {
+        eprintln!("[stream] peak_rss_bytes={bytes}");
+    }
+    std::process::exit(0);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: experiments stream --trace PATH | --rbn1 | --rbn2 [--write-trace PATH]\n\
+         \x20      [--chunk-records N] [--checkpoint-dir D] [--checkpoint-every N] [--resume]\n\
+         \x20      [--quarantine PATH] [--report PATH] [--throttle-ms N] [--stop-after-chunks N]\n\
+         \x20      [--scale small|medium|large] [--seed N] [--threads N]"
+    );
+    std::process::exit(2);
+}

@@ -29,7 +29,7 @@ impl Scale {
 
     /// (publishers, ad_companies, trackers, crawl_sites, rbn2_households,
     ///  rbn2_hours, rbn1_households, rbn1_days)
-    fn knobs(self) -> (usize, usize, usize, usize, usize, f64, usize, f64) {
+    pub fn knobs(self) -> (usize, usize, usize, usize, usize, f64, usize, f64) {
         match self {
             Scale::Small => (120, 14, 16, 120, 60, 6.0, 40, 1.0),
             Scale::Medium => (400, 28, 36, 1000, 300, 15.5, 150, 4.0),
