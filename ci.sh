@@ -66,7 +66,9 @@ mkdir -p "$STREAM_DIR"
 ./target/release/experiments stream --rbn1 --scale small \
   --write-trace "$STREAM_DIR/rbn1.trace" \
   --quarantine "$STREAM_DIR/quarantine.ndjson" \
-  --report "$STREAM_DIR/full.report" 2>"$STREAM_DIR/full.stderr"
+  --report "$STREAM_DIR/full.report" \
+  --windows "$STREAM_DIR/full.windows" \
+  --manifest "$STREAM_DIR/full.manifest.json" 2>"$STREAM_DIR/full.stderr"
 grep -q '^trace RBN-1 ' "$STREAM_DIR/full.report"
 rss="$(sed -n 's/^\[stream\] peak_rss_bytes=//p' "$STREAM_DIR/full.stderr")"
 test -n "$rss"
@@ -85,9 +87,12 @@ half=$((chunks / 2))
   --stop-after-chunks "$half" --threads 3 >/dev/null 2>&1
 ./target/release/experiments stream --trace "$STREAM_DIR/rbn1.trace" \
   --checkpoint-dir "$STREAM_DIR/ck" --resume --threads 2 \
-  --report "$STREAM_DIR/resumed.report" >/dev/null 2>&1
+  --report "$STREAM_DIR/resumed.report" \
+  --windows "$STREAM_DIR/resumed.windows" \
+  --manifest "$STREAM_DIR/resumed.manifest.json" >/dev/null 2>&1
 cmp "$STREAM_DIR/full.report" "$STREAM_DIR/resumed.report"
-echo "    kill at chunk $half/$chunks + resume: report byte-identical"
+cmp "$STREAM_DIR/full.windows" "$STREAM_DIR/resumed.windows"
+echo "    kill at chunk $half/$chunks + resume: report + windows byte-identical"
 # A real SIGKILL mid-run (atomic checkpoint writes mean the survivor is
 # always loadable): throttle the run, kill -9 once the first checkpoint
 # lands, resume, byte-compare again.
@@ -108,6 +113,57 @@ wait "$STREAM_PID" 2>/dev/null || true
 cmp "$STREAM_DIR/full.report" "$STREAM_DIR/killed.report"
 echo "    SIGKILL mid-run + resume: report byte-identical"
 
+echo "==> experiments verify (run-manifest replay gate)"
+# Layer 1: every digest recorded in the manifest still matches the bytes
+# on disk. Layer 2: re-run the manifest's replay argv into a scratch dir
+# and byte-compare — all-PASS or the gate fails. The resumed manifest is
+# the acceptance proof: a checkpointed run that was killed and resumed
+# must verify byte-identical against an uninterrupted replay.
+./target/release/experiments verify --manifest "$STREAM_DIR/full.manifest.json" \
+  --scratch "$STREAM_DIR/verify-full"
+./target/release/experiments verify --manifest "$STREAM_DIR/resumed.manifest.json" \
+  --scratch "$STREAM_DIR/verify-resumed"
+echo "    full + resumed manifests verify all-PASS"
+
+echo "==> stream health plane (stall watchdog gate)"
+# Deterministic stall injection: the router sleeps 1.2 s after chunk 2
+# against a 250 ms watchdog budget. /healthz must flip to "stalled"
+# while the sleep holds, then recover to "ok" once the run finishes.
+rm -f "$STREAM_DIR/health.port"
+./target/release/experiments stream --rbn1 --scale small --chunk-records 2048 \
+  --throttle-ms 60 --watchdog-ms 250 --stall-after-chunks 2 --stall-ms 1200 \
+  --serve-port 0 --serve-port-file "$STREAM_DIR/health.port" --serve-linger \
+  >/dev/null 2>"$STREAM_DIR/health.stderr" &
+HEALTH_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$STREAM_DIR/health.port" ] && break
+  sleep 0.1
+done
+test -s "$STREAM_DIR/health.port"
+HEALTH_PORT="$(cat "$STREAM_DIR/health.port")"
+saw_stall=0
+for _ in $(seq 1 100); do
+  hz="$(./target/release/experiments fetch --port "$HEALTH_PORT" --path /healthz --retries 2 2>/dev/null || true)"
+  case "$hz" in *'"status":"stalled"'*) saw_stall=1; break ;; esac
+  sleep 0.1
+done
+test "$saw_stall" = 1
+# While stalled the run is still live: /statusz must show the manifest
+# header and per-worker progress rows.
+statusz="$(./target/release/experiments fetch --port "$HEALTH_PORT" --path /statusz --retries 2)"
+grep -q 'stream config_fnv=' <<<"$statusz"
+grep -q 'health:' <<<"$statusz"
+saw_ok=0
+for _ in $(seq 1 300); do
+  hz="$(./target/release/experiments fetch --port "$HEALTH_PORT" --path /healthz --retries 2 2>/dev/null || true)"
+  case "$hz" in *'"status":"ok"'*'"run_active":false'*) saw_ok=1; break ;; esac
+  sleep 0.2
+done
+test "$saw_ok" = 1
+./target/release/experiments fetch --port "$HEALTH_PORT" --path /quitz >/dev/null
+wait "$HEALTH_PID"
+echo "    watchdog flagged the stall and /healthz recovered to ok"
+
 echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead)"
 rm -f BENCH_latest.json
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_io
@@ -117,8 +173,11 @@ BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench window_overhead
 
 echo "==> bench_gate (regression + tracing/windowing overhead)"
+# --manifest joins the history row to the streaming run that CI just
+# verified: the row carries that run's config_fnv and dataset fnv.
 cargo run --release -q -p bench --bin bench_gate -- BENCH_baseline.json BENCH_latest.json \
-  --stamp "$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+  --stamp "$(git rev-parse --short HEAD 2>/dev/null || echo local)" \
+  --manifest "$STREAM_DIR/full.manifest.json"
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

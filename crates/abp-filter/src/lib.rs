@@ -61,3 +61,6 @@ pub use rule::{Anchor, NetFilter, Pattern, Segment};
 pub use subscription::{
     FilterList, SubscriptionState, EASYLIST_SOFT_EXPIRY_DAYS, EASYPRIVACY_SOFT_EXPIRY_DAYS,
 };
+
+/// This crate's version, recorded in run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -54,3 +54,6 @@ pub use stream::{
 };
 pub use users::{UserAggregate, UserKey};
 pub use window::WindowOptions;
+
+/// This crate's version, recorded in run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -176,6 +176,12 @@ pub struct StreamOptions {
     /// Test hook: records for this host panic mid-worker, exercising the
     /// poison path.
     pub poison_host: Option<String>,
+    /// Test hook: after routing this many chunks, the router sleeps
+    /// [`StreamOptions::stall_ms`] once — a deterministic injected
+    /// stall for the health-plane watchdog checks.
+    pub stall_after_chunks: Option<u64>,
+    /// How long the injected stall lasts (milliseconds).
+    pub stall_ms: u64,
 }
 
 impl Default for StreamOptions {
@@ -191,6 +197,8 @@ impl Default for StreamOptions {
             stop_after_chunks: None,
             throttle_ms: 0,
             poison_host: None,
+            stall_after_chunks: None,
+            stall_ms: 0,
         }
     }
 }
@@ -644,13 +652,17 @@ fn worker_loop(
     rx: parallel::Receiver<ToWorker>,
     ack_tx: mpsc::Sender<(usize, u64, WorkerAck)>,
     id: usize,
+    slot: Arc<obs::health::WorkerHealth>,
+    registry: &obs::Registry,
 ) -> WorkerFinal {
     for msg in rx {
         match msg {
             ToWorker::Batch(batch) => {
+                let n = batch.len() as u64;
                 for (pos, obj) in batch {
                     w.handle(pos, obj);
                 }
+                slot.beat(registry.elapsed_ns(), n);
             }
             ToWorker::Barrier(seq) => {
                 let ack = w.barrier_ack();
@@ -1255,6 +1267,7 @@ pub fn classify_stream_file(
         Some(ck) if ck.resume => Some(load_checkpoint(&ck.dir, opts)?),
         _ => None,
     };
+    let total_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     match resume {
         Some(state) => {
             let mut f = File::open(path)?;
@@ -1268,13 +1281,21 @@ pub fn classify_stream_file(
                 registry,
             );
             let meta = state.meta.clone();
-            run_stream(reader, meta, Some(state), classifier, opts, registry)
+            run_stream(
+                reader,
+                meta,
+                Some(state),
+                classifier,
+                opts,
+                registry,
+                total_bytes,
+            )
         }
         None => {
             let reader =
                 ChunkReader::with_registry(File::open(path)?, opts.chunk_records, registry)?;
             let meta = reader.meta().clone();
-            run_stream(reader, meta, None, classifier, opts, registry)
+            run_stream(reader, meta, None, classifier, opts, registry, total_bytes)
         }
     }
 }
@@ -1296,7 +1317,7 @@ where
             "checkpointing requires a seekable trace file".into(),
         ));
     }
-    run_stream(chunks, meta, None, classifier, opts, registry)
+    run_stream(chunks, meta, None, classifier, opts, registry, 0)
 }
 
 fn run_stream<I>(
@@ -1306,6 +1327,7 @@ fn run_stream<I>(
     classifier: &PassiveClassifier,
     opts: &StreamOptions,
     registry: &obs::Registry,
+    total_bytes: u64,
 ) -> Result<StreamReport, StreamError>
 where
     I: Iterator<Item = StreamChunk>,
@@ -1382,6 +1404,20 @@ where
     let mut interner = Interner::new();
     let checkpoint_every = opts.checkpoint.as_ref().map(|c| c.every_chunks.max(1));
 
+    // The live health plane: the router advances the progress ledger
+    // per chunk, each worker beats its slot per batch, and /statusz on
+    // the serve listener renders the picture while the run is going.
+    let health = registry.health();
+    let run_label = match resumed_from {
+        Some(off) => format!("{} (resumed @ {off})", meta.name),
+        None => meta.name.clone(),
+    };
+    health.begin_run(&run_label, total_bytes, registry.elapsed_ns());
+    if progress.offset > 0 {
+        // A resumed run starts its ledger at the checkpointed offset.
+        health.advance(registry.elapsed_ns(), progress.offset, 0, 0);
+    }
+
     let c_chunks = registry.counter("adscope_stream_chunks_total");
     let c_records = registry.counter("adscope_stream_records_total");
     let c_checkpoints = registry.counter("adscope_stream_checkpoints_total");
@@ -1399,9 +1435,10 @@ where
             let q = quarantine.clone();
             let poison = opts.poison_host.as_deref();
             let collect = opts.collect_requests;
+            let slot = health.worker(id as u64);
             handles.push(scope.spawn(move || {
                 let w = Worker::new(classifier, normalizer, popts, collect, q, poison, init);
-                worker_loop(w, rx, ack_tx, id)
+                worker_loop(w, rx, ack_tx, id, slot, registry)
             }));
             senders.push(tx);
         }
@@ -1496,6 +1533,7 @@ where
             run_chunks += 1;
             c_chunks.add(1);
             c_records.add(n_records);
+            health.advance(registry.elapsed_ns(), end_offset, n_records, 1);
 
             if let (Some(every), Some(ck)) = (checkpoint_every, opts.checkpoint.as_ref()) {
                 if progress.chunks % every == 0 {
@@ -1555,6 +1593,12 @@ where
             if opts.throttle_ms > 0 {
                 std::thread::sleep(std::time::Duration::from_millis(opts.throttle_ms));
             }
+            if opts.stall_after_chunks == Some(run_chunks) && opts.stall_ms > 0 {
+                // Injected stall: the router (and, once their queues
+                // drain, the workers) goes quiet for long enough that a
+                // watchdog with a smaller budget must flag it.
+                std::thread::sleep(std::time::Duration::from_millis(opts.stall_ms));
+            }
         }
 
         drop(senders);
@@ -1565,6 +1609,7 @@ where
                 Err(p) => std::panic::resume_unwind(p),
             }
         }
+        health.finish_run(registry.elapsed_ns());
         loop_result?;
 
         // Final merge: residual window deltas, counter totals over the

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_gate [<baseline.json> [<latest.json>]] [--stamp S] [--history PATH]
+//!            [--manifest PATH]
 //! ```
 //!
 //! Reads two `BENCH_JSON` NDJSON files (default `BENCH_baseline.json`
@@ -24,7 +25,10 @@
 //! (default `BENCH_history.ndjson`, committed, so the perf record
 //! travels with the repo). The line is stamped with `--stamp` —
 //! typically the short commit hash — never with in-process wall-clock,
-//! keeping the gate itself deterministic and replayable.
+//! keeping the gate itself deterministic and replayable. With
+//! `--manifest PATH` the line also carries the named run manifest's
+//! `config_fnv` and dataset `fnv`, so a history row joins to the exact
+//! run configuration and input that produced the numbers.
 //!
 //! The compared statistic is `low_ns` — the best observed sample, not
 //! the median. On a loaded CI box, interference only ever *adds* time,
@@ -121,14 +125,66 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// `config_fnv` / dataset `fnv` lifted from a run manifest, for joining
+/// history rows to the run that produced them.
+#[derive(Default)]
+struct ManifestJoin {
+    config_fnv: Option<u64>,
+    dataset_fnv: Option<u64>,
+}
+
+/// Read the two joinable hashes out of a run manifest written by
+/// `experiments` (`obs::RunManifest` JSON). Any parse problem is fatal:
+/// a history row silently missing its join key defeats the point.
+fn load_manifest_join(path: &str) -> ManifestJoin {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read manifest {path}: {e}");
+            exit(1);
+        }
+    };
+    let doc = match netsim::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: manifest {path} is not valid JSON: {e}");
+            exit(1);
+        }
+    };
+    if doc.get("kind").and_then(|v| v.as_str()) != Some("annoyed-users-run") {
+        eprintln!("bench_gate: {path} is not an annoyed-users run manifest");
+        exit(1);
+    }
+    ManifestJoin {
+        config_fnv: doc.get("config_fnv").and_then(|v| v.as_u64()),
+        dataset_fnv: doc
+            .get("dataset")
+            .and_then(|d| d.get("fnv"))
+            .and_then(|v| v.as_u64()),
+    }
+}
+
 /// Render the run as one NDJSON history line (parseable by
 /// `netsim::json`, like every other artifact in the workspace).
-fn history_line(stamp: &str, passed: bool, checks: &[Check]) -> String {
+fn history_line(stamp: &str, passed: bool, checks: &[Check], join: &ManifestJoin) -> String {
     let mut line = format!(
-        "{{\"event\":\"bench_gate\",\"stamp\":\"{}\",\"passed\":{},\"checks\":[",
+        "{{\"event\":\"bench_gate\",\"stamp\":\"{}\",\"passed\":{},",
         json_escape(stamp),
         passed
     );
+    match join.config_fnv {
+        Some(h) => {
+            let _ = write!(line, "\"config_fnv\":{h},");
+        }
+        None => line.push_str("\"config_fnv\":null,"),
+    }
+    match join.dataset_fnv {
+        Some(h) => {
+            let _ = write!(line, "\"dataset_fnv\":{h},");
+        }
+        None => line.push_str("\"dataset_fnv\":null,"),
+    }
+    line.push_str("\"checks\":[");
     for (i, c) in checks.iter().enumerate() {
         if i > 0 {
             line.push(',');
@@ -153,6 +209,7 @@ fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut stamp = String::from("unstamped");
     let mut history_path = String::from("BENCH_history.ndjson");
+    let mut manifest_arg: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -176,6 +233,16 @@ fn main() {
                     }
                 }
             }
+            "--manifest" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => manifest_arg = Some(s.clone()),
+                    None => {
+                        eprintln!("bench_gate: --manifest requires a value");
+                        exit(1);
+                    }
+                }
+            }
             other => positional.push(other.to_string()),
         }
         i += 1;
@@ -189,6 +256,10 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_latest.json");
 
+    let join = manifest_arg
+        .as_deref()
+        .map(load_manifest_join)
+        .unwrap_or_default();
     let baseline = load(baseline_path);
     let latest = load(latest_path);
     let mut failed = false;
@@ -271,7 +342,7 @@ fn main() {
 
     // Append the run to the committed history (best-effort: a read-only
     // checkout must not turn a perf pass into a build failure).
-    let line = history_line(&stamp, !failed, &checks);
+    let line = history_line(&stamp, !failed, &checks, &join);
     match netsim::json::parse(&line) {
         Ok(_) => {
             use std::io::Write;

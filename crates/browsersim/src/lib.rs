@@ -47,3 +47,6 @@ pub use drive::{drive_stream, DriveConfig, DriveOutput, StreamDriveOutput};
 pub use ghostery::{GhosteryMode, GhosteryPlugin};
 pub use plugin::{ListDownload, Plugin};
 pub use population::{Population, PopulationConfig};
+
+/// This crate's version, recorded in run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

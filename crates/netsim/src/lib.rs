@@ -54,3 +54,6 @@ pub use latency::LatencyModel;
 pub use nat::NatGateway;
 pub use record::{TlsConnection, Trace, TraceMeta, TraceRecord};
 pub use rtt::Region;
+
+/// This crate's version, recorded in run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

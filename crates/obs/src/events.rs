@@ -112,7 +112,7 @@ impl Event {
 
 /// Append a JSON string literal for `s` (same escaping as
 /// `netsim::json::write_str`).
-fn write_json_str(out: &mut String, s: &str) {
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -34,6 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod health;
+pub mod manifest;
 pub mod metric;
 pub mod process;
 pub mod profile;
@@ -45,8 +47,10 @@ pub mod trace;
 pub mod window;
 
 pub use events::{Event, EventLog, FieldValue};
+pub use health::{spawn_watchdog, Health, HealthSnapshot, Verdict, Watchdog, WorkerHealth};
+pub use manifest::{fnv64, fnv64_file, fnv64_lines_unordered, Artifact, DigestMode, RunManifest};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
-pub use process::{peak_rss_bytes, record_peak_rss};
+pub use process::{open_fds, peak_rss_bytes, record_peak_rss, record_process, start_time_seconds};
 pub use profile::{NodeStats, ProfileStore};
 pub use prometheus::{escape_label, unescape_label, validate_exposition};
 pub use registry::{MetricKey, Registry, SampleValue, Snapshot};
@@ -65,6 +69,9 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
+
+/// This crate's version, recorded in run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Turn all recording on or off, process-wide (affects injected
 /// registries too). Off, every hot-path call reduces to one relaxed

@@ -1,0 +1,432 @@
+//! Run manifests: every experiment run self-describing and re-checkable.
+//!
+//! A [`RunManifest`] records everything needed to regenerate a run's
+//! artifacts and detect drift: the subcommand and its literal argv, a
+//! canonical *replay* argv (the deterministic uninterrupted re-run), the
+//! configuration key/value set and its FNV-64 hash, the input dataset's
+//! content hash, the filter-list hash, crate versions, start/end logical
+//! clock, and an FNV-64 digest of every emitted artifact.
+//!
+//! Digest modes, because not every artifact is byte-reproducible:
+//!
+//! * [`DigestMode::Exact`] — the bytes must reproduce on replay
+//!   (reports, windows NDJSON, written traces).
+//! * [`DigestMode::Lines`] — the *set of lines* must reproduce; the
+//!   digest is the XOR of per-line FNV-64 hashes, so worker-order
+//!   nondeterminism (the quarantine sidecar) doesn't matter.
+//! * [`DigestMode::Recorded`] — the digest is stamped for
+//!   tamper-evidence only; replay comparison is skipped (timing-bearing
+//!   artifacts like `metrics.prom`, `events.ndjson`, checkpoints).
+//!
+//! The manifest is rendered as a single deterministic JSON object using
+//! the same escaping rules as `netsim::json::write_str` (this crate is
+//! dependency-free, so the writer lives here; `experiments verify`
+//! parses it back with `netsim::json::parse`) and written atomically —
+//! tmp file, then rename — so a crashed run never leaves a torn
+//! manifest next to a complete artifact.
+
+use crate::events::write_json_str;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write as _};
+use std::path::Path;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64-bit hash of a file's bytes, streamed in 64 KiB blocks
+/// (never materializes the file). Returns `(digest, byte_length)`.
+pub fn fnv64_file(path: &Path) -> io::Result<(u64, u64)> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = [0u8; 65536];
+    let mut h = FNV_OFFSET;
+    let mut len = 0u64;
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        len += n as u64;
+        for &b in &buf[..n] {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    Ok((h, len))
+}
+
+/// Order-insensitive digest of a file's lines: XOR of each line's
+/// FNV-64 (trailing `\n` excluded from each line). Two files with the
+/// same multiset of lines in any order digest identically — the
+/// property the quarantine sidecar needs, whose line order across
+/// workers is not deterministic. Returns `(digest, byte_length)`.
+pub fn fnv64_lines_unordered(path: &Path) -> io::Result<(u64, u64)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut h = 0u64;
+    for line in text.lines() {
+        h ^= fnv64(line.as_bytes());
+    }
+    Ok((h, text.len() as u64))
+}
+
+/// How an artifact's digest participates in `verify` replay comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigestMode {
+    /// Bytes must reproduce exactly on replay.
+    Exact,
+    /// The unordered line set must reproduce on replay.
+    Lines,
+    /// Digest recorded for drift detection only; replay skips it.
+    Recorded,
+}
+
+impl DigestMode {
+    /// Wire name used in the manifest JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DigestMode::Exact => "exact",
+            DigestMode::Lines => "lines",
+            DigestMode::Recorded => "recorded",
+        }
+    }
+
+    /// Parse a wire name back (`None` for unknown strings).
+    pub fn parse(s: &str) -> Option<DigestMode> {
+        match s {
+            "exact" => Some(DigestMode::Exact),
+            "lines" => Some(DigestMode::Lines),
+            "recorded" => Some(DigestMode::Recorded),
+            _ => None,
+        }
+    }
+}
+
+/// One emitted artifact: its role name, path, size, digest and mode.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Stable role name (`report`, `windows`, `quarantine`, ...); unique
+    /// within a manifest, used by `verify` to map replay outputs.
+    pub name: String,
+    /// Path the artifact was written to.
+    pub path: String,
+    /// Byte length at stamp time.
+    pub bytes: u64,
+    /// FNV-64 digest (per `mode`).
+    pub fnv: u64,
+    /// How `verify` compares this artifact on replay.
+    pub mode: DigestMode,
+}
+
+/// The input dataset's identity: path and content hash.
+#[derive(Debug, Clone)]
+pub struct DatasetRef {
+    /// Path of the input trace file.
+    pub path: String,
+    /// Byte length.
+    pub bytes: u64,
+    /// FNV-64 of the file bytes.
+    pub fnv: u64,
+}
+
+/// A deterministic, self-describing record of one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// The `experiments` subcommand that produced this run.
+    pub subcommand: String,
+    /// The literal argv the run was invoked with (after the subcommand).
+    pub args: Vec<String>,
+    /// Canonical deterministic re-run argv (including the subcommand).
+    /// Empty means the run is not replayable (`verify` does disk checks
+    /// only).
+    pub replay: Vec<String>,
+    /// The experiments output directory in effect at stamp time.
+    pub out_dir: String,
+    /// Configuration key/value pairs (seed, scale, topology), sorted by
+    /// key before rendering so the config hash is stable.
+    pub config: Vec<(String, String)>,
+    /// Input dataset content hash, when the run read a trace file.
+    pub dataset: Option<DatasetRef>,
+    /// FNV-64 over the classifier's filter-list rule text, when one was
+    /// built.
+    pub filter_fnv: Option<u64>,
+    /// `(crate, version)` pairs of the code that produced the run.
+    pub crates: Vec<(String, String)>,
+    /// Registry logical clock (ns) when the run began.
+    pub start_ns: u64,
+    /// Registry logical clock (ns) when the manifest was stamped.
+    pub end_ns: u64,
+    /// Every emitted artifact, in emission order.
+    pub artifacts: Vec<Artifact>,
+}
+
+/// Manifest format version (bump on schema change).
+pub const MANIFEST_VERSION: u64 = 1;
+
+impl RunManifest {
+    /// A fresh manifest for `subcommand` with the logical start clock.
+    pub fn new(subcommand: &str, start_ns: u64) -> RunManifest {
+        RunManifest {
+            subcommand: subcommand.to_string(),
+            start_ns,
+            ..RunManifest::default()
+        }
+    }
+
+    /// Add a config pair (kept sorted by key for hash stability).
+    pub fn config(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.config.push((key.to_string(), value.to_string()));
+        self.config.sort();
+    }
+
+    /// FNV-64 over the canonical config string
+    /// (`subcommand|k=v|k=v|...` with sorted keys): the run's identity
+    /// hash, joinable from bench history rows.
+    pub fn config_fnv(&self) -> u64 {
+        let mut s = self.subcommand.clone();
+        for (k, v) in &self.config {
+            let _ = write!(s, "|{k}={v}");
+        }
+        fnv64(s.as_bytes())
+    }
+
+    /// Digest `path` under `mode` and append it as artifact `name`.
+    /// Missing files are an error — a stamped artifact must exist.
+    pub fn add_artifact(&mut self, name: &str, path: &Path, mode: DigestMode) -> io::Result<()> {
+        let (fnv, bytes) = match mode {
+            DigestMode::Lines => fnv64_lines_unordered(path)?,
+            _ => fnv64_file(path)?,
+        };
+        self.artifacts.push(Artifact {
+            name: name.to_string(),
+            path: path.display().to_string(),
+            bytes,
+            fnv,
+            mode,
+        });
+        Ok(())
+    }
+
+    /// Hash the input dataset at `path` and record it.
+    pub fn set_dataset(&mut self, path: &Path) -> io::Result<()> {
+        let (fnv, bytes) = fnv64_file(path)?;
+        self.dataset = Some(DatasetRef {
+            path: path.display().to_string(),
+            bytes,
+            fnv,
+        });
+        Ok(())
+    }
+
+    /// Render the manifest as one deterministic JSON object (trailing
+    /// newline included). Escaping matches `netsim::json::write_str`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"kind\":\"annoyed-users-run\",\"version\":");
+        let _ = write!(out, "{MANIFEST_VERSION}");
+        out.push_str(",\"subcommand\":");
+        write_json_str(&mut out, &self.subcommand);
+        out.push_str(",\"args\":");
+        write_str_array(&mut out, &self.args);
+        out.push_str(",\"replay\":");
+        write_str_array(&mut out, &self.replay);
+        out.push_str(",\"out_dir\":");
+        write_json_str(&mut out, &self.out_dir);
+        out.push_str(",\"config\":{");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, k);
+            out.push(':');
+            write_json_str(&mut out, v);
+        }
+        out.push('}');
+        let _ = write!(out, ",\"config_fnv\":{}", self.config_fnv());
+        out.push_str(",\"dataset\":");
+        match &self.dataset {
+            Some(d) => {
+                out.push_str("{\"path\":");
+                write_json_str(&mut out, &d.path);
+                let _ = write!(out, ",\"bytes\":{},\"fnv\":{}}}", d.bytes, d.fnv);
+            }
+            None => out.push_str("null"),
+        }
+        match self.filter_fnv {
+            Some(h) => {
+                let _ = write!(out, ",\"filter_fnv\":{h}");
+            }
+            None => out.push_str(",\"filter_fnv\":null"),
+        }
+        out.push_str(",\"crates\":{");
+        for (i, (k, v)) in self.crates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, k);
+            out.push(':');
+            write_json_str(&mut out, v);
+        }
+        out.push('}');
+        let _ = write!(
+            out,
+            ",\"clock\":{{\"start_ns\":{},\"end_ns\":{}}}",
+            self.start_ns, self.end_ns
+        );
+        out.push_str(",\"artifacts\":[");
+        for (i, a) in self.artifacts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_str(&mut out, &a.name);
+            out.push_str(",\"path\":");
+            write_json_str(&mut out, &a.path);
+            let _ = write!(out, ",\"bytes\":{},\"fnv\":{},\"mode\":", a.bytes, a.fnv);
+            write_json_str(&mut out, a.mode.as_str());
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Write the manifest atomically: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A reader never observes a torn manifest.
+    pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn write_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_str(out, s);
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64 vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn file_digest_streams_and_matches_in_memory() {
+        let dir = std::env::temp_dir().join("obs_manifest_test_file");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("blob.bin");
+        let payload: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&p, &payload).unwrap();
+        let (h, len) = fnv64_file(&p).unwrap();
+        assert_eq!(len, payload.len() as u64);
+        assert_eq!(h, fnv64(&payload));
+    }
+
+    #[test]
+    fn unordered_line_digest_is_order_insensitive() {
+        let dir = std::env::temp_dir().join("obs_manifest_test_lines");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.ndjson");
+        let b = dir.join("b.ndjson");
+        std::fs::write(&a, "one\ntwo\nthree\n").unwrap();
+        std::fs::write(&b, "three\none\ntwo\n").unwrap();
+        assert_eq!(
+            fnv64_lines_unordered(&a).unwrap().0,
+            fnv64_lines_unordered(&b).unwrap().0
+        );
+        let c = dir.join("c.ndjson");
+        std::fs::write(&c, "one\ntwo\nfour\n").unwrap();
+        assert_ne!(
+            fnv64_lines_unordered(&a).unwrap().0,
+            fnv64_lines_unordered(&c).unwrap().0
+        );
+    }
+
+    #[test]
+    fn config_fnv_is_order_insensitive_and_value_sensitive() {
+        let mut a = RunManifest::new("stream", 0);
+        a.config("seed", 7);
+        a.config("scale", "small");
+        let mut b = RunManifest::new("stream", 99);
+        b.config("scale", "small");
+        b.config("seed", 7);
+        assert_eq!(a.config_fnv(), b.config_fnv(), "insertion order irrelevant");
+        let mut c = RunManifest::new("stream", 0);
+        c.config("seed", 8);
+        c.config("scale", "small");
+        assert_ne!(a.config_fnv(), c.config_fnv());
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_atomic_write_lands() {
+        let dir = std::env::temp_dir().join("obs_manifest_test_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let art = dir.join("report.txt");
+        std::fs::write(&art, "hello report\n").unwrap();
+
+        let mut m = RunManifest::new("stream", 10);
+        m.args = vec!["--rbn1".into(), "--seed".into(), "7".into()];
+        m.replay = vec!["stream".into(), "--rbn1".into()];
+        m.out_dir = "target/experiments".into();
+        m.config("seed", 7);
+        m.crates.push(("obs".into(), "0.1.0".into()));
+        m.filter_fnv = Some(42);
+        m.end_ns = 20;
+        m.add_artifact("report", &art, DigestMode::Exact).unwrap();
+
+        let j1 = m.to_json();
+        let j2 = m.to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.starts_with("{\"kind\":\"annoyed-users-run\""));
+        assert!(j1.contains("\"mode\":\"exact\""));
+        assert!(j1.ends_with("]}\n"));
+
+        let out = dir.join("manifest.json");
+        m.write_atomic(&out).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), j1);
+        assert!(!out.with_extension("tmp").exists(), "tmp renamed away");
+    }
+
+    #[test]
+    fn missing_artifact_is_an_error() {
+        let mut m = RunManifest::new("stream", 0);
+        let err = m.add_artifact(
+            "report",
+            Path::new("/nonexistent/definitely/not/here"),
+            DigestMode::Exact,
+        );
+        assert!(err.is_err());
+        assert!(m.artifacts.is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 //! event log, with deterministic snapshots for the two sinks.
 
 use crate::events::{Event, EventLog, FieldValue};
+use crate::health::Health;
 use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::profile::ProfileStore;
 use crate::span::Span;
@@ -133,6 +134,7 @@ pub struct Registry {
     traces: TraceLog,
     windows: TraceLog,
     profile: ProfileStore,
+    health: Health,
 }
 
 impl Default for Registry {
@@ -154,6 +156,7 @@ impl Registry {
                 "windows_dropped",
             ),
             profile: ProfileStore::default(),
+            health: Health::default(),
         }
     }
 
@@ -271,6 +274,12 @@ impl Registry {
     /// The per-stage wall-time profile fed by [`Span`]s.
     pub fn profile(&self) -> &ProfileStore {
         &self.profile
+    }
+
+    /// The live run-health plane (heartbeats, progress ledger, stall
+    /// flag; see [`crate::health`]).
+    pub fn health(&self) -> &Health {
+        &self.health
     }
 
     /// A deterministic (sorted) point-in-time copy of all metrics.

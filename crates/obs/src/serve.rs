@@ -4,7 +4,10 @@
 //! Routes:
 //!
 //! * `/metrics`  — Prometheus text exposition (the existing encoder).
-//! * `/healthz`  — liveness JSON (uptime, sink depths).
+//! * `/healthz`  — liveness JSON (tri-state `ok`/`degraded`/`stalled`
+//!   verdict from [`crate::health`], uptime, sink depths).
+//! * `/statusz`  — the live run-health plane: manifest header, progress
+//!   ledger, per-worker liveness, ETA (`/statusz/ndjson` for machines).
 //! * `/windows`  — NDJSON of closed time windows (see [`crate::window`]).
 //! * `/profile`  — collapsed-stack profile (see [`crate::profile`]);
 //!   `/profile/table` renders the self/total table instead.
@@ -156,9 +159,8 @@ fn handle(
     // Known routes get a labeled hit counter; everything else folds into
     // "other" so request paths can't explode metric cardinality.
     let label = match path.as_str() {
-        "/" | "/metrics" | "/healthz" | "/windows" | "/profile" | "/profile/table" | "/quitz" => {
-            path.as_str()
-        }
+        "/" | "/metrics" | "/healthz" | "/statusz" | "/statusz/ndjson" | "/windows"
+        | "/profile" | "/profile/table" | "/quitz" => path.as_str(),
         _ => "other",
     };
     registry
@@ -184,7 +186,9 @@ fn route(
             "text/plain; charset=utf-8",
             "annoyed-users obs endpoint\n\
              /metrics        Prometheus text exposition\n\
-             /healthz        liveness JSON\n\
+             /healthz        liveness JSON (ok|degraded|stalled)\n\
+             /statusz        run health plane (human table)\n\
+             /statusz/ndjson run health plane (NDJSON)\n\
              /windows        closed time windows (NDJSON)\n\
              /profile        collapsed-stack profile (folded)\n\
              /profile/table  self/total time table\n\
@@ -192,31 +196,46 @@ fn route(
                 .to_string(),
         ),
         "/metrics" => {
-            // Refresh point-in-time process gauges so every scrape sees
-            // the current high-water mark, not the value at publish time.
-            crate::process::record_peak_rss(registry);
+            // Refresh point-in-time process and health gauges so every
+            // scrape sees current values, not the ones at publish time.
+            crate::process::record_process(registry);
+            crate::health::record_health_gauges(registry);
             (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 registry.render_prometheus(),
             )
         }
-        "/healthz" => (
+        "/healthz" => {
+            let verdict = crate::health::verdict(registry);
+            let health = registry.health().snapshot();
+            (
+                "200 OK",
+                "application/json",
+                format!(
+                    "{{\"status\":\"{}\",\"uptime_ns\":{},\"events\":{},\"windows\":{},\
+                     \"traces\":{},\"run_active\":{},\"stalls\":{}}}\n",
+                    verdict.as_str(),
+                    registry.elapsed_ns(),
+                    registry.events().len(),
+                    registry.windows().len(),
+                    registry.traces().len(),
+                    health.active,
+                    health.stalls,
+                ),
+            )
+        }
+        "/statusz" => (
             "200 OK",
-            "application/json",
-            format!(
-                "{{\"status\":\"ok\",\"uptime_ns\":{},\"events\":{},\"windows\":{},\"traces\":{}}}\n",
-                registry.elapsed_ns(),
-                registry.events().len(),
-                registry.windows().len(),
-                registry.traces().len(),
-            ),
+            "text/plain; charset=utf-8",
+            crate::health::render_statusz(registry),
         ),
-        "/windows" => (
+        "/statusz/ndjson" => (
             "200 OK",
             "application/x-ndjson",
-            registry.windows_ndjson(),
+            crate::health::render_statusz_ndjson(registry),
         ),
+        "/windows" => ("200 OK", "application/x-ndjson", registry.windows_ndjson()),
         "/profile" => (
             "200 OK",
             "text/plain; charset=utf-8",
@@ -303,6 +322,41 @@ mod tests {
         );
         assert_eq!(
             snap.counter("obs_http_requests_total", &[("path", "other")]),
+            1
+        );
+        h.join();
+    }
+
+    #[test]
+    fn statusz_and_healthz_reflect_the_health_plane() {
+        let r = static_registry();
+        r.health().begin_run("serve-test", 200, r.elapsed_ns());
+        r.health().advance(r.elapsed_ns(), 100, 10, 1);
+        r.health().worker(0).beat(r.elapsed_ns(), 10);
+        let h = serve(r, 0).expect("bind");
+        let port = h.port();
+
+        let (head, body) = get(port, "/statusz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("serve-test"), "{body}");
+        assert!(body.contains("50.0%"), "{body}");
+
+        let (_, body) = get(port, "/statusz/ndjson");
+        assert!(body.contains("\"event\":\"statusz\""), "{body}");
+        assert!(body.contains("\"event\":\"worker\""), "{body}");
+
+        let (_, body) = get(port, "/healthz");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"run_active\":true"), "{body}");
+
+        // The health plane is visible to scrapes as gauges.
+        let (_, body) = get(port, "/metrics");
+        assert!(body.contains("obs_health_done_bytes 100"), "{body}");
+        assert!(body.contains("process_open_fds") || crate::process::open_fds().is_none());
+
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("obs_http_requests_total", &[("path", "/statusz")]),
             1
         );
         h.join();

@@ -46,3 +46,6 @@ pub use ecosystem::{Ecosystem, EcosystemConfig};
 pub use infra::{Server, ServerRegistry};
 pub use page::{ObjectKind, PageObject, PageTemplate, SizeClass};
 pub use publisher::{Publisher, SiteCategory};
+
+/// This crate's version, recorded in run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

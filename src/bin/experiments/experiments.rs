@@ -1108,12 +1108,26 @@ fn metrics(world: &mut World) -> String {
 
     // Process-level gauges, refreshed at render time so the table and
     // the exposition artifact agree on the same reading.
-    obs::record_peak_rss(registry);
+    obs::record_process(registry);
     let mut process = TextTable::new("Process", &["Gauge", "Value"]);
     process.row(&[
         "process_peak_rss_bytes".to_string(),
         match obs::peak_rss_bytes() {
             Some(b) => format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+            None => "n/a (no /proc)".to_string(),
+        },
+    ]);
+    process.row(&[
+        "process_start_time_seconds".to_string(),
+        match obs::start_time_seconds() {
+            Some(s) => format!("{s} (unix)"),
+            None => "n/a (no /proc)".to_string(),
+        },
+    ]);
+    process.row(&[
+        "process_open_fds".to_string(),
+        match obs::open_fds() {
+            Some(n) => n.to_string(),
             None => "n/a (no /proc)".to_string(),
         },
     ]);
@@ -1130,18 +1144,19 @@ fn metrics(world: &mut World) -> String {
         netsim::json::parse(line).expect("every NDJSON event line must parse as JSON");
         events += 1;
     }
-    let dir = std::path::Path::new("target/experiments");
-    std::fs::create_dir_all(dir).expect("create target/experiments");
+    let dir = crate::manifest::out_dir();
+    std::fs::create_dir_all(&dir).expect("create the experiments output dir");
     std::fs::write(dir.join("metrics.prom"), &prom).expect("write metrics.prom");
     std::fs::write(dir.join("events.ndjson"), &ndjson).expect("write events.ndjson");
 
     format!(
         "## Metrics — per-stage observability exposition\n\
          {}\n{}\n{}\n\
-         exposition: VALID ({samples} samples) -> target/experiments/metrics.prom\n\
-         event log:  VALID ({events} events)   -> target/experiments/events.ndjson\n",
+         exposition: VALID ({samples} samples) -> {dir}/metrics.prom\n\
+         event log:  VALID ({events} events)   -> {dir}/events.ndjson\n",
         stages.render(),
         counters.render(),
         process.render(),
+        dir = dir.display(),
     )
 }

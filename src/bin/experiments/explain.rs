@@ -101,9 +101,9 @@ pub fn run(args: &[String]) -> ! {
 
     // Export the full provenance NDJSON and prove it parses.
     let ndjson = registry.traces_ndjson();
-    let dir = std::path::Path::new("target/experiments");
+    let dir = crate::manifest::out_dir();
     let path = dir.join("explain_trace.ndjson");
-    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| {
         std::fs::File::create(&path).and_then(|mut f| f.write_all(ndjson.as_bytes()))
     }) {
         fail(&format!("cannot write {}: {e}", path.display()));
@@ -120,6 +120,25 @@ pub fn run(args: &[String]) -> ! {
         parsed += 1;
     }
     println!("trace: VALID ({parsed} records) -> {}", path.display());
+
+    // Manifest: the provenance NDJSON is fully deterministic (derived
+    // ids, no wall clock), so it replays byte-exactly. Stdout is
+    // golden-pinned; the stamp goes to files and stderr only.
+    let mut m = crate::manifest::stamp("explain");
+    m.config("url", &raw);
+    let mut replay = vec!["explain".to_string(), "--url".into(), raw.clone()];
+    if let Some(p) = &trace_arg {
+        m.config("trace", p);
+        if let Err(e) = m.set_dataset(std::path::Path::new(p)) {
+            fail(&format!("cannot hash dataset {p:?}: {e}"));
+        }
+        replay.extend(["--trace".into(), p.clone()]);
+    }
+    m.replay = replay;
+    if let Err(e) = m.add_artifact("explain_trace.ndjson", &path, obs::DigestMode::Exact) {
+        fail(&format!("cannot digest {}: {e}", path.display()));
+    }
+    crate::manifest::write(m, &dir.join("explain.manifest.json"));
     std::process::exit(0);
 }
 

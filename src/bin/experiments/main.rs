@@ -23,9 +23,11 @@
 
 mod experiments;
 mod explain;
+mod manifest;
 mod serve;
 mod stream;
 mod temporal;
+mod verify;
 mod world;
 
 use std::io::Write;
@@ -39,12 +41,14 @@ fn main() {
         explain::run(&args[1..]);
     }
     // Likewise `temporal` (windowed §5 table), `serve` (live scrape
-    // endpoint), and `fetch` (its CI smoke-test client).
+    // endpoint), `fetch` (its CI smoke-test client), and `verify` (run
+    // manifest re-check).
     match args.first().map(String::as_str) {
         Some("temporal") => temporal::run(&args[1..]),
         Some("serve") => serve::run_serve(&args[1..]),
         Some("fetch") => serve::run_fetch(&args[1..]),
         Some("stream") => stream::run(&args[1..]),
+        Some("verify") => verify::run(&args[1..]),
         _ => {}
     }
     let mut ids: Vec<String> = Vec::new();
@@ -93,6 +97,7 @@ fn main() {
         match experiments::run(id, &mut world) {
             Some(section) => {
                 println!("{section}");
+                stamp_id(id, &section, &world);
                 out.push_str(&section);
                 out.push('\n');
             }
@@ -103,9 +108,9 @@ fn main() {
     // under target/ (with the metrics artifacts), not the repo root, so a
     // stale copy can never be committed.
     if ids.len() > 1 {
-        let dir = std::path::Path::new("target/experiments");
+        let dir = manifest::out_dir();
         let path = dir.join("experiments_output.txt");
-        if std::fs::create_dir_all(dir).is_ok() {
+        if std::fs::create_dir_all(&dir).is_ok() {
             if let Ok(mut f) = std::fs::File::create(&path) {
                 let _ = f.write_all(out.as_bytes());
                 eprintln!(
@@ -115,6 +120,62 @@ fn main() {
             }
         }
     }
+}
+
+/// Stamp a run manifest for the generic-loop ids that emit artifacts.
+/// `robustness` is a pure function of (scale, seed) — its table is an
+/// `exact` artifact with a replay argv. `metrics` is timing-bearing —
+/// its artifacts are stamped `recorded` (drift detection only).
+fn stamp_id(id: &str, section: &str, world: &World) {
+    if id != "metrics" && id != "robustness" {
+        return;
+    }
+    let dir = manifest::out_dir();
+    let txt = dir.join(format!("{id}.txt"));
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&txt, section.as_bytes()))
+    {
+        eprintln!("error: cannot write {}: {e}", txt.display());
+        std::process::exit(1);
+    }
+    let mut m = manifest::stamp(id);
+    m.config("scale", world.scale.as_str());
+    m.config("seed", world.seed);
+    m.config("threads", world.threads);
+    m.filter_fnv = Some(manifest::filter_fnv(&world.eco));
+    let mode = if id == "robustness" {
+        m.replay = vec![
+            id.to_string(),
+            "--scale".into(),
+            world.scale.as_str().into(),
+            "--seed".into(),
+            world.seed.to_string(),
+        ];
+        obs::DigestMode::Exact
+    } else {
+        obs::DigestMode::Recorded
+    };
+    let mut stamp_artifact = |name: &str, path: &std::path::Path, mode| {
+        if let Err(e) = m.add_artifact(name, path, mode) {
+            eprintln!("error: cannot digest {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    stamp_artifact(&format!("{id}.txt"), &txt, mode);
+    if id == "metrics" {
+        // Timing-bearing sinks written by the experiment itself.
+        stamp_artifact(
+            "metrics.prom",
+            &dir.join("metrics.prom"),
+            obs::DigestMode::Recorded,
+        );
+        stamp_artifact(
+            "events.ndjson",
+            &dir.join("events.ndjson"),
+            obs::DigestMode::Recorded,
+        );
+    }
+    manifest::write(m, &dir.join(format!("{id}.manifest.json")));
 }
 
 fn usage(err: &str) -> ! {
@@ -129,7 +190,10 @@ fn usage(err: &str) -> ! {
          \x20      experiments fetch --port N --path <p> [--retries N] [--check-metrics]\n\
          \x20      experiments stream --trace PATH | --rbn1 | --rbn2 [--write-trace PATH]\n\
          \x20          [--checkpoint-dir D] [--checkpoint-every N] [--resume] [--quarantine PATH]\n\
-         \x20          [--report PATH] [--chunk-records N] [--stop-after-chunks N] [--throttle-ms N]\n\
+         \x20          [--report PATH] [--windows PATH] [--manifest PATH] [--chunk-records N]\n\
+         \x20          [--stop-after-chunks N] [--throttle-ms N] [--serve-port N]\n\
+         \x20          [--serve-port-file PATH] [--serve-linger] [--watchdog-ms N]\n\
+         \x20      experiments verify --manifest <path> [--scratch DIR] [--skip-replay]\n\
          ids: {} all",
         experiments::ALL_IDS.join(" ")
     );

@@ -1,0 +1,82 @@
+//! Manifest stamping shared by every `experiments` subcommand.
+//!
+//! Each subcommand builds a [`RunManifest`] through [`stamp`], records
+//! its config and artifacts, and writes it through [`write`] next to the
+//! artifacts under [`out_dir`]. The `ANNOYED_EXPERIMENTS_DIR` variable
+//! overrides the default `target/experiments` — that is how
+//! `experiments verify` redirects a replay's artifacts into a scratch
+//! directory without disturbing the originals.
+
+use obs::RunManifest;
+use std::path::{Path, PathBuf};
+use webgen::Ecosystem;
+
+/// The experiments output directory: `$ANNOYED_EXPERIMENTS_DIR` when
+/// set and non-empty, `target/experiments` otherwise.
+pub fn out_dir() -> PathBuf {
+    match std::env::var_os("ANNOYED_EXPERIMENTS_DIR") {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("target/experiments"),
+    }
+}
+
+/// Start a manifest for `subcommand`: the literal argv, the output
+/// directory, the workspace crate versions, and the registry's logical
+/// start clock are filled in; the caller adds config, dataset, replay
+/// argv and artifacts.
+pub fn stamp(subcommand: &str) -> RunManifest {
+    let mut m = RunManifest::new(subcommand, obs::global().elapsed_ns());
+    m.args = std::env::args().skip(1).collect();
+    m.out_dir = out_dir().display().to_string();
+    m.crates = vec![
+        ("abp-filter".into(), abp_filter::VERSION.into()),
+        ("adscope".into(), adscope::VERSION.into()),
+        ("annoyed-users".into(), env!("CARGO_PKG_VERSION").into()),
+        ("browsersim".into(), browsersim::VERSION.into()),
+        ("netsim".into(), netsim::VERSION.into()),
+        ("obs".into(), obs::VERSION.into()),
+        ("webgen".into(), webgen::VERSION.into()),
+    ];
+    m
+}
+
+/// FNV-64 over the generated filter lists' raw rule text in canonical
+/// order — the identity of the classifier a run used. (The parsed
+/// `FilterList` does not retain rule text; the generated ecosystem
+/// does.)
+pub fn filter_fnv(eco: &Ecosystem) -> u64 {
+    let mut s = String::with_capacity(
+        eco.lists.easylist_text.len()
+            + eco.lists.regional_text.len()
+            + eco.lists.easyprivacy_text.len()
+            + eco.lists.acceptable_text.len()
+            + 4,
+    );
+    for text in [
+        &eco.lists.easylist_text,
+        &eco.lists.regional_text,
+        &eco.lists.easyprivacy_text,
+        &eco.lists.acceptable_text,
+    ] {
+        s.push_str(text);
+        s.push('\u{0}');
+    }
+    obs::fnv64(s.as_bytes())
+}
+
+/// Stamp the end clock and write `m` atomically to `path` (a one-line
+/// stderr note on success; the process exits on failure — a run whose
+/// manifest cannot land is not a recorded run).
+pub fn write(mut m: RunManifest, path: &Path) {
+    m.end_ns = obs::global().elapsed_ns();
+    if let Err(e) = m.write_atomic(path) {
+        eprintln!("error: cannot write manifest {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[manifest] {} run stamped -> {} (config_fnv={:016x})",
+        m.subcommand,
+        path.display(),
+        m.config_fnv()
+    );
+}

@@ -145,14 +145,27 @@ pub fn run_serve(args: &[String]) -> ! {
 
     // Export the profiler's collapsed stacks for flamegraph tooling.
     let folded = registry.profile().render_folded();
-    let dir = std::path::Path::new("target/experiments");
+    let dir = crate::manifest::out_dir();
     let path = dir.join("profile.folded");
-    if std::fs::create_dir_all(dir)
+    if std::fs::create_dir_all(&dir)
         .and_then(|()| std::fs::write(&path, folded.as_bytes()))
         .is_ok()
     {
         eprintln!("[serve] profile written to {}", path.display());
     }
+
+    // Manifest: the profile is wall-time-bearing, so it is recorded for
+    // tamper evidence only and the run carries no replay argv.
+    let mut m = crate::manifest::stamp("serve");
+    m.config("scale", scale.as_str());
+    m.config("seed", seed);
+    m.config("threads", threads);
+    m.config("pace_secs", pace);
+    m.filter_fnv = Some(crate::manifest::filter_fnv(&world.eco));
+    if let Err(e) = m.add_artifact("profile.folded", &path, obs::DigestMode::Recorded) {
+        eprintln!("error: cannot digest {}: {e}", path.display());
+    }
+    crate::manifest::write(m, &dir.join("serve.manifest.json"));
 
     eprintln!("[serve] ready; GET /quitz to stop");
     while !handle.shutdown_requested() {

@@ -4,7 +4,9 @@
 //! experiments stream --trace PATH [--checkpoint-dir D [--checkpoint-every N] [--resume]]
 //! experiments stream --rbn1|--rbn2 [--write-trace PATH] [--scale ...] [--seed N]
 //! common: [--chunk-records N] [--threads N] [--quarantine PATH] [--report PATH]
-//!         [--throttle-ms N] [--stop-after-chunks N]
+//!         [--windows PATH] [--manifest PATH] [--throttle-ms N] [--stop-after-chunks N]
+//! health: [--serve-port N] [--serve-port-file PATH] [--serve-linger]
+//!         [--watchdog-ms N] [--stall-after-chunks N] [--stall-ms N]
 //! ```
 //!
 //! Three source modes:
@@ -19,20 +21,35 @@
 //!   through a bounded channel: records flow generator → router →
 //!   shard workers with no file and no full-trace buffer anywhere.
 //!
+//! Every run stamps a run manifest (default `<report>.manifest.json`
+//! next to the report, or `stream.manifest.json` under the experiments
+//! dir): config identity, filter-list hash, dataset hash, and a digest
+//! for each artifact. The manifest's replay argv deliberately excludes
+//! `--resume`/`--checkpoint-dir`, so `experiments verify` on a resumed
+//! run's manifest replays an *uninterrupted* run and proves the reports
+//! byte-identical — the fault-tolerance contract.
+//!
+//! With `--serve-port`, the obs endpoint serves `/metrics`, `/statusz`
+//! and `/healthz` live during the run (`--serve-linger` keeps it up
+//! after the run until `GET /quitz`, for CI polling). `--watchdog-ms`
+//! arms the stall watchdog; `--stall-after-chunks`/`--stall-ms` inject
+//! one deterministic router stall to test it.
+//!
 //! The final report is printed to stdout; `--report PATH` additionally
 //! writes the deterministic [`adscope::StreamReport::render`] form,
 //! which a kill-and-resume run reproduces byte-identically (CI asserts
 //! exactly that). Peak RSS goes to stderr for the CI memory ceiling.
 
 use crate::world::Scale;
-use adscope::stream::{classify_stream_chunks, classify_stream_file};
-use adscope::{CheckpointOptions, PassiveClassifier, StreamOptions, StreamReport};
+use adscope::stream::{classify_stream_chunks, classify_stream_file, CHECKPOINT_FILE};
+use adscope::{CheckpointOptions, PassiveClassifier, StreamOptions};
 use annoyed_users::prelude::*;
 use browsersim::drive::drive_stream;
 use netsim::codec::CodecStats;
 use netsim::record::TraceMeta;
 use netsim::stream::{StreamChunk, TraceWriter};
 use std::path::PathBuf;
+use std::time::Duration;
 
 enum Source {
     TraceFile(PathBuf),
@@ -48,6 +65,12 @@ pub fn run(args: &[String]) -> ! {
     let mut checkpoint_every: u64 = 64;
     let mut resume = false;
     let mut report_path: Option<PathBuf> = None;
+    let mut windows_path: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut serve_port: Option<u16> = None;
+    let mut serve_port_file: Option<PathBuf> = None;
+    let mut serve_linger = false;
+    let mut watchdog_ms: u64 = 0;
     let mut scale = Scale::Small;
     let mut seed: u64 = 0x5eed;
     let mut opts = StreamOptions::default();
@@ -95,6 +118,59 @@ pub fn run(args: &[String]) -> ! {
                 i += 1;
                 let p = args.get(i).unwrap_or_else(|| fail("missing --report path"));
                 report_path = Some(PathBuf::from(p));
+            }
+            "--windows" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("missing --windows path"));
+                windows_path = Some(PathBuf::from(p));
+            }
+            "--manifest" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("missing --manifest path"));
+                manifest_path = Some(PathBuf::from(p));
+            }
+            "--serve-port" => {
+                i += 1;
+                serve_port = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| fail("bad --serve-port value")),
+                );
+            }
+            "--serve-port-file" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("missing --serve-port-file path"));
+                serve_port_file = Some(PathBuf::from(p));
+            }
+            "--serve-linger" => serve_linger = true,
+            "--watchdog-ms" => {
+                i += 1;
+                watchdog_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("bad --watchdog-ms value"));
+            }
+            "--stall-after-chunks" => {
+                i += 1;
+                opts.stall_after_chunks = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| fail("bad --stall-after-chunks value")),
+                );
+            }
+            "--stall-ms" => {
+                i += 1;
+                opts.stall_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("bad --stall-ms value"));
             }
             "--chunk-records" => {
                 i += 1;
@@ -149,7 +225,7 @@ pub fn run(args: &[String]) -> ! {
     let Some(source) = source else {
         fail("stream requires a source: --trace PATH, --rbn1, or --rbn2");
     };
-    if let Some(dir) = checkpoint_dir {
+    if let Some(dir) = checkpoint_dir.clone() {
         opts.checkpoint = Some(CheckpointOptions {
             dir,
             every_chunks: checkpoint_every,
@@ -179,10 +255,51 @@ pub fn run(args: &[String]) -> ! {
     ]);
     let registry = obs::global();
 
-    let report = match source {
+    // The manifest skeleton is built before the run so /statusz can show
+    // the run's config identity from the first scrape.
+    let mut m = crate::manifest::stamp("stream");
+    let source_name = match &source {
+        Source::TraceFile(p) => format!("trace:{}", p.display()),
+        Source::Rbn1 => "rbn1".to_string(),
+        Source::Rbn2 => "rbn2".to_string(),
+    };
+    m.config("source", &source_name);
+    m.config("scale", scale.as_str());
+    m.config("seed", seed);
+    m.config("chunk_records", opts.chunk_records);
+    m.config("threads", opts.threads);
+    m.filter_fnv = Some(crate::manifest::filter_fnv(&eco));
+    registry
+        .health()
+        .set_header(format!("stream config_fnv={:016x}", m.config_fnv()));
+
+    // Live health plane: the obs endpoint during (and optionally after)
+    // the run, plus the stall watchdog.
+    let serve_handle = serve_port.map(|port| {
+        let handle = obs::serve(registry, port)
+            .unwrap_or_else(|e| fail(&format!("cannot bind 127.0.0.1:{port}: {e}")));
+        eprintln!("[stream] serving health plane on http://{}", handle.addr());
+        if let Some(path) = &serve_port_file {
+            // Written atomically (tmp + rename) so a poller never reads
+            // a half-written port number.
+            let tmp = path.with_extension("tmp");
+            if let Err(e) = std::fs::write(&tmp, format!("{}\n", handle.port()))
+                .and_then(|()| std::fs::rename(&tmp, path))
+            {
+                fail(&format!("cannot write port file {}: {e}", path.display()));
+            }
+        }
+        handle
+    });
+    let _watchdog = (watchdog_ms > 0).then(|| {
+        obs::spawn_watchdog(registry, Duration::from_millis(watchdog_ms))
+            .unwrap_or_else(|e| fail(&format!("cannot spawn watchdog: {e}")))
+    });
+
+    let report = match &source {
         Source::TraceFile(path) => {
             eprintln!("[stream] classifying {} in streaming mode", path.display());
-            classify_stream_file(&path, &classifier, &opts, registry)
+            classify_stream_file(path, &classifier, &opts, registry)
         }
         rbn => {
             let (.., rbn2_households, rbn2_hours, rbn1_households, rbn1_days) = scale.knobs();
@@ -198,7 +315,7 @@ pub fn run(args: &[String]) -> ! {
                     ..Default::default()
                 },
             );
-            match write_trace {
+            match &write_trace {
                 Some(path) => {
                     // Generate straight to disk, slice by slice, then
                     // stream-classify the file (checkpointable).
@@ -215,7 +332,7 @@ pub fn run(args: &[String]) -> ! {
                         start_hour: config.start_hour,
                         start_weekday: config.start_weekday,
                     };
-                    let file = std::fs::File::create(&path)
+                    let file = std::fs::File::create(path)
                         .unwrap_or_else(|e| fail(&format!("cannot create trace file: {e}")));
                     let mut writer = TraceWriter::new(std::io::BufWriter::new(file), &meta)
                         .unwrap_or_else(|e| fail(&format!("trace header write: {e}")));
@@ -244,7 +361,7 @@ pub fn run(args: &[String]) -> ! {
                         .finish()
                         .unwrap_or_else(|e| fail(&format!("trace finish failed: {e}")));
                     eprintln!("[stream] wrote {records} records ({bytes} bytes)");
-                    classify_stream_file(&path, &classifier, &opts, registry)
+                    classify_stream_file(path, &classifier, &opts, registry)
                 }
                 None => {
                     // No file anywhere: generator thread feeds the
@@ -299,10 +416,7 @@ pub fn run(args: &[String]) -> ! {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    finish(&report, report_path.as_deref())
-}
 
-fn finish(report: &StreamReport, report_path: Option<&std::path::Path>) -> ! {
     let rendered = report.render();
     println!("{rendered}");
     if report.stopped_early {
@@ -314,16 +428,113 @@ fn finish(report: &StreamReport, report_path: Option<&std::path::Path>) -> ! {
     if let Some(off) = report.resumed_from {
         eprintln!("[stream] resumed from byte offset {off}");
     }
-    if let Some(path) = report_path {
+    if let Some(path) = &report_path {
         if let Err(e) = std::fs::write(path, &rendered) {
             eprintln!("error: cannot write report {}: {e}", path.display());
             std::process::exit(1);
         }
         eprintln!("[stream] report written to {}", path.display());
     }
+    if let Some(path) = &windows_path {
+        // Both windowed series, cumulative across resumes, so a resumed
+        // run's windows NDJSON is byte-identical to an uninterrupted
+        // run's (same property CI asserts for the report).
+        let mut nd = report.windows.render_ndjson("adscope");
+        nd.push_str(&report.decode_windows.render_ndjson("decode"));
+        if let Err(e) = std::fs::write(path, &nd) {
+            eprintln!("error: cannot write windows {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[stream] windows written to {}", path.display());
+    }
+
+    // Stamp the run manifest: dataset identity, replay argv, artifact
+    // digests. A run stopped early by --stop-after-chunks is partial —
+    // its artifacts get digests (drift detection) but no replay argv.
+    if let Source::TraceFile(p) = &source {
+        if let Err(e) = m.set_dataset(p) {
+            eprintln!("error: cannot hash dataset {}: {e}", p.display());
+            std::process::exit(1);
+        }
+    }
+    if !report.stopped_early {
+        let mut replay = vec!["stream".to_string()];
+        match &source {
+            Source::TraceFile(p) => replay.extend(["--trace".into(), p.display().to_string()]),
+            Source::Rbn1 => replay.push("--rbn1".into()),
+            Source::Rbn2 => replay.push("--rbn2".into()),
+        }
+        if let Some(p) = &write_trace {
+            replay.extend(["--write-trace".into(), p.display().to_string()]);
+        }
+        replay.extend([
+            "--scale".into(),
+            scale.as_str().into(),
+            "--seed".into(),
+            seed.to_string(),
+            "--chunk-records".into(),
+            opts.chunk_records.to_string(),
+        ]);
+        if let Some(p) = &opts.quarantine_path {
+            replay.extend(["--quarantine".into(), p.display().to_string()]);
+        }
+        if let Some(p) = &report_path {
+            replay.extend(["--report".into(), p.display().to_string()]);
+        }
+        if let Some(p) = &windows_path {
+            replay.extend(["--windows".into(), p.display().to_string()]);
+        }
+        // Deliberately excluded: --resume/--checkpoint-dir (so a resumed
+        // run's manifest replays uninterrupted), --throttle-ms/--stall-*/
+        // --serve-* (timing-only), --threads (results thread-invariant).
+        m.replay = replay;
+    }
+    let mut stamp_artifact = |name: &str, path: &std::path::Path, mode: obs::DigestMode| {
+        if let Err(e) = m.add_artifact(name, path, mode) {
+            eprintln!("error: cannot digest {} {}: {e}", name, path.display());
+            std::process::exit(1);
+        }
+    };
+    if let Some(p) = &report_path {
+        stamp_artifact("report", p, obs::DigestMode::Exact);
+    }
+    if let Some(p) = &windows_path {
+        stamp_artifact("windows", p, obs::DigestMode::Exact);
+    }
+    if let Some(p) = &write_trace {
+        stamp_artifact("trace", p, obs::DigestMode::Exact);
+    }
+    if let Some(p) = &opts.quarantine_path {
+        // Line order across workers is nondeterministic; the digest is
+        // the unordered-lines mode.
+        if p.exists() {
+            stamp_artifact("quarantine", p, obs::DigestMode::Lines);
+        }
+    }
+    if let Some(dir) = &checkpoint_dir {
+        let ck = dir.join(CHECKPOINT_FILE);
+        if ck.exists() {
+            stamp_artifact("checkpoint", &ck, obs::DigestMode::Recorded);
+        }
+    }
+    let manifest_out = manifest_path.unwrap_or_else(|| match &report_path {
+        Some(r) => PathBuf::from(format!("{}.manifest.json", r.display())),
+        None => crate::manifest::out_dir().join("stream.manifest.json"),
+    });
+    crate::manifest::write(m, &manifest_out);
+
     // Machine-parseable for the CI memory ceiling.
     if let Some(bytes) = obs::peak_rss_bytes() {
         eprintln!("[stream] peak_rss_bytes={bytes}");
+    }
+    if let Some(handle) = serve_handle {
+        if serve_linger {
+            eprintln!("[stream] lingering; GET /quitz to stop");
+            while !handle.shutdown_requested() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        handle.join();
     }
     std::process::exit(0);
 }
@@ -333,7 +544,10 @@ fn fail(msg: &str) -> ! {
     eprintln!(
         "usage: experiments stream --trace PATH | --rbn1 | --rbn2 [--write-trace PATH]\n\
          \x20      [--chunk-records N] [--checkpoint-dir D] [--checkpoint-every N] [--resume]\n\
-         \x20      [--quarantine PATH] [--report PATH] [--throttle-ms N] [--stop-after-chunks N]\n\
+         \x20      [--quarantine PATH] [--report PATH] [--windows PATH] [--manifest PATH]\n\
+         \x20      [--throttle-ms N] [--stop-after-chunks N] [--serve-port N]\n\
+         \x20      [--serve-port-file PATH] [--serve-linger] [--watchdog-ms N]\n\
+         \x20      [--stall-after-chunks N] [--stall-ms N]\n\
          \x20      [--scale small|medium|large] [--seed N] [--threads N]"
     );
     std::process::exit(2);

@@ -82,6 +82,7 @@ pub fn run(args: &[String]) -> ! {
         ..Default::default()
     };
 
+    let mut filter_hash: Option<u64> = None;
     let (meta, windows) = match &trace_arg {
         Some(path) => {
             let bytes = match std::fs::read(path) {
@@ -106,6 +107,7 @@ pub fn run(args: &[String]) -> ! {
         }
         None => {
             let mut world = World::new(scale, seed, threads);
+            filter_hash = Some(crate::manifest::filter_fnv(&world.eco));
             // Reuse the world's classified requests and rerun only the
             // window pass, so `--width` is honored without a second
             // classification.
@@ -115,7 +117,46 @@ pub fn run(args: &[String]) -> ! {
         }
     };
 
-    print!("{}", render(&meta, &windows));
+    let table = render(&meta, &windows);
+    print!("{table}");
+
+    // Artifact + manifest. Stdout is golden-pinned, so everything below
+    // goes to files and stderr only.
+    let dir = crate::manifest::out_dir();
+    let path = dir.join("temporal.txt");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &table)) {
+        fail(&format!("cannot write {}: {e}", path.display()));
+    }
+    let mut m = crate::manifest::stamp("temporal");
+    m.config("width_secs", width);
+    m.config("threads", threads);
+    m.filter_fnv = filter_hash;
+    let mut replay = vec!["temporal".to_string()];
+    match &trace_arg {
+        Some(p) => {
+            m.config("trace", p);
+            if let Err(e) = m.set_dataset(std::path::Path::new(p)) {
+                fail(&format!("cannot hash dataset {p:?}: {e}"));
+            }
+            replay.extend(["--trace".into(), p.clone()]);
+        }
+        None => {
+            m.config("scale", scale.as_str());
+            m.config("seed", seed);
+            replay.extend([
+                "--scale".into(),
+                scale.as_str().into(),
+                "--seed".into(),
+                seed.to_string(),
+            ]);
+        }
+    }
+    replay.extend(["--width".into(), width.to_string()]);
+    m.replay = replay;
+    if let Err(e) = m.add_artifact("temporal.txt", &path, obs::DigestMode::Exact) {
+        fail(&format!("cannot digest {}: {e}", path.display()));
+    }
+    crate::manifest::write(m, &dir.join("temporal.manifest.json"));
     std::process::exit(0);
 }
 

@@ -27,6 +27,16 @@ impl Scale {
         }
     }
 
+    /// Canonical name, as accepted by [`Scale::parse`] (used in run
+    /// manifests and replay argvs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
     /// (publishers, ad_companies, trackers, crawl_sites, rbn2_households,
     ///  rbn2_hours, rbn1_households, rbn1_days)
     pub fn knobs(self) -> (usize, usize, usize, usize, usize, f64, usize, f64) {
@@ -41,6 +51,8 @@ impl Scale {
 /// The lazily built shared world.
 pub struct World {
     pub scale: Scale,
+    /// The ecosystem seed (recorded in run manifests).
+    pub seed: u64,
     pub eco: Ecosystem,
     pub classifier: PassiveClassifier,
     /// Worker threads for the sharded classification stage (`--threads`).
@@ -88,6 +100,7 @@ impl World {
         );
         World {
             scale,
+            seed,
             eco,
             classifier,
             threads: threads.max(1),
