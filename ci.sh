@@ -21,6 +21,10 @@ for t in 1 4; do
   ANNOYED_THREADS=$t cargo test -q -p adscope --test parallel_equivalence
 done
 
+echo "==> compiled-engine differential gates (byte-identical classifications)"
+cargo test -q -p abp-filter --test differential_compiled
+cargo test -q --test engine_differential
+
 echo "==> experiments metrics --scale small (exposition gate)"
 # Capture, then grep: `... | grep -q` would close the pipe mid-print and
 # kill the binary with SIGPIPE before it writes the artifacts.
@@ -164,15 +168,16 @@ test "$saw_ok" = 1
 wait "$HEALTH_PID"
 echo "    watchdog flagged the stall and /healthz recovered to ok"
 
-echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead)"
+echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead, filter_engine)"
 rm -f BENCH_latest.json
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_io
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench pipeline
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench streaming_pipeline
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench window_overhead
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench filter_engine
 
-echo "==> bench_gate (regression + tracing/windowing overhead)"
+echo "==> bench_gate (regression + overhead + compiled-engine speedup/throughput floors)"
 # --manifest joins the history row to the streaming run that CI just
 # verified: the row carries that run's config_fnv and dataset fnv.
 cargo run --release -q -p bench --bin bench_gate -- BENCH_baseline.json BENCH_latest.json \

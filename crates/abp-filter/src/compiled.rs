@@ -1,0 +1,1134 @@
+//! The compiled filter engine: arena-backed, fingerprint-prefiltered
+//! matching at EasyList scale.
+//!
+//! [`CompiledEngine::compile`] lowers a loaded [`Engine`] into flat arrays:
+//!
+//! * every literal's bytes live in one byte arena, every pattern is a span
+//!   of compact [`CompiledSegment`]s, and every `$domain=` list is a span
+//!   of FNV-64 hashes — a [`CompiledRule`] is a few words of indices, so
+//!   the match path never chases per-rule `String`/`Vec` allocations;
+//! * the `HashMap<token, Vec<Entry>>` index becomes a sorted flat
+//!   token→bucket table probed by binary search, with a per-candidate
+//!   64-bit *required-token fingerprint* (and the AND over each bucket):
+//!   a candidate whose required tokens are not all present in the URL's
+//!   token signature is rejected without touching rule memory;
+//! * `$document` exceptions reuse the host-keyed layout of the reference
+//!   engine as a sorted flat table over rule ids.
+//!
+//! The verdict is **byte-identical** to [`Engine::classify`] — including
+//! `first_match_depth` (fingerprint-rejected candidates still count: they
+//! were surfaced, they just provably cannot match) and per-list attribution
+//! order. The differential proptest suite and the adscope equivalence
+//! harness pin this.
+
+use crate::engine::{
+    host_key, host_suffix_hashes, write_lower_url, Classification, ClassifyScratch, Engine, Entry,
+    FilterRef, ListId, Request, TokenIndex,
+};
+use crate::matcher::{host_span, is_separator};
+use crate::options::{FilterOptions, PartyConstraint};
+use crate::rule::{Anchor, Pattern, Segment};
+use crate::tokenizer::{hash_token, url_tokens_into, MIN_TOKEN_LEN};
+use http_model::{is_third_party, ContentCategory};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One pattern segment, with literal bytes referenced by arena span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompiledSegment {
+    /// Literal bytes at `lit_arena[offset..offset + len]`.
+    Lit(u32, u32),
+    /// `*` — any run of characters (including empty).
+    Star,
+    /// `^` — a single separator character, or the end of the URL.
+    Sep,
+}
+
+/// One flattened rule: indices into the shared arenas, no owned data.
+#[derive(Debug, Clone, Copy)]
+struct CompiledRule {
+    list: u32,
+    anchor: Anchor,
+    end_anchor: bool,
+    type_mask: u16,
+    party: PartyConstraint,
+    /// Span into the segment arena.
+    seg: (u32, u32),
+    /// `$domain=` include hashes: span into the domain arena.
+    include: (u32, u32),
+    /// `$domain=~` exclude hashes: span into the domain arena.
+    exclude: (u32, u32),
+}
+
+/// Sorted flat token table: `keys[i]` owns `entries[buckets[i].0 ..
+/// buckets[i].1]`; `bucket_fp[i]` is the AND of those entries'
+/// fingerprints, so a whole bucket can be rejected with one mask test.
+/// Lookup goes through `slots`, an open-addressed probe table over the
+/// (already FNV-mixed) token hashes — one or two cache lines per probe
+/// instead of the ~15 dependent loads of a binary search at EasyList
+/// scale. `keys` stays sorted so bucket order (and with it the compile
+/// layout) is deterministic.
+#[derive(Debug, Default, Clone)]
+struct CompiledIndex {
+    keys: Vec<u64>,
+    buckets: Vec<(u32, u32)>,
+    bucket_fp: Vec<u64>,
+    /// Open-addressed `(token, bucket index)` slots; `u32::MAX` = empty.
+    /// Power-of-two length, ≤50% load.
+    slots: Vec<(u64, u32)>,
+    /// One bit per 2× slot position: a membership pre-filter small enough
+    /// to stay L1-resident at EasyList scale, so the (cache-cold) probe
+    /// table is only touched for tokens that are plausibly present.
+    bloom: Vec<u64>,
+    /// Per-bucket mask of the lists its entries belong to (bit = `ListId`;
+    /// ids ≥ 64 poison the mask to "all lists"). When every list in a
+    /// bucket has already recorded a blocking match, the whole bucket is
+    /// dup-list-skippable and only contributes to the candidate count.
+    bucket_lists: Vec<u64>,
+    /// List mask of the untokenized tail.
+    untok_lists: u64,
+    /// Rule ids, bucket by bucket, untokenized tail last.
+    entries: Vec<u32>,
+    /// Required-token fingerprints parallel to `entries`.
+    fps: Vec<u64>,
+    /// Span of the always-evaluated untokenized tail within `entries`.
+    untok: (u32, u32),
+}
+
+impl CompiledIndex {
+    /// Build the probe table and bloom from the sorted `keys`.
+    fn build_slots(&mut self) {
+        let cap = (self.keys.len() * 2).next_power_of_two().max(8);
+        self.slots = vec![(0, u32::MAX); cap];
+        self.bloom = vec![0u64; (cap * 4).div_ceil(64)];
+        let mask = cap - 1;
+        for (bi, &k) in self.keys.iter().enumerate() {
+            let mut i = (k as usize) & mask;
+            while self.slots[i].1 != u32::MAX {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (k, bi as u32);
+            let (b1, b2) = bloom_bits(k, self.bloom.len());
+            self.bloom[b1 >> 6] |= 1u64 << (b1 & 63);
+            self.bloom[b2 >> 6] |= 1u64 << (b2 & 63);
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, token: u64) -> Option<usize> {
+        // The bloom indexes on high hash bits (the slots use low bits), so
+        // a miss here is resolved without touching the (much larger, and
+        // usually cache-cold) probe table.
+        let (b1, b2) = bloom_bits(token, self.bloom.len());
+        if self.bloom[b1 >> 6] & (1u64 << (b1 & 63)) == 0
+            || self.bloom[b2 >> 6] & (1u64 << (b2 & 63)) == 0
+        {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (token as usize) & mask;
+        loop {
+            let (t, b) = self.slots[i];
+            if b == u32::MAX {
+                return None;
+            }
+            if t == token {
+                return Some(b as usize);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+}
+
+/// Two bloom bit positions drawn from distinct high windows of the token
+/// hash (`words` is the bloom length in `u64`s, a power of two).
+#[inline]
+fn bloom_bits(token: u64, words: usize) -> (usize, usize) {
+    let bit_mask = words * 64 - 1;
+    (
+        (token as usize >> 32) & bit_mask,
+        (token as usize >> 45) & bit_mask,
+    )
+}
+
+/// Host-keyed `$document` exception table (see `engine::host_key`): a
+/// sorted flat map from host-suffix hash to rule ids, plus the linear
+/// fallback for prefix-shaped rules.
+#[derive(Debug, Default, Clone)]
+struct CompiledDocIndex {
+    keys: Vec<u64>,
+    buckets: Vec<(u32, u32)>,
+    entries: Vec<u32>,
+    fallback: Vec<u32>,
+}
+
+/// Compile-time figures, exported as gauges and printed by the
+/// experiments metrics table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Total rules lowered (blocking + exceptions + `$document`).
+    pub rules: usize,
+    /// Token buckets across the blocking and exception tables.
+    pub buckets: usize,
+    /// Bytes across the literal/segment/domain/entry arenas.
+    pub arena_bytes: usize,
+}
+
+/// Metric handles for the compiled match path; local tallies are flushed
+/// as one atomic add per counter per classify call.
+#[derive(Debug, Clone)]
+struct CompiledMetrics {
+    requests: obs::Counter,
+    rules_evaluated: obs::Counter,
+    tokenizer_hits: obs::Counter,
+    whitelist_overrides: obs::Counter,
+    first_match_depth: obs::Histogram,
+    /// Candidates surfaced by the token table (including rejected ones).
+    candidates: obs::Counter,
+    /// Candidates rejected by the fingerprint pre-filter without touching
+    /// rule memory.
+    prefilter_rejects: obs::Counter,
+}
+
+impl CompiledMetrics {
+    fn bind(registry: &obs::Registry) -> CompiledMetrics {
+        CompiledMetrics {
+            requests: registry.counter("abp_requests_total"),
+            rules_evaluated: registry.counter("abp_rules_evaluated_total"),
+            tokenizer_hits: registry.counter("abp_tokenizer_hits_total"),
+            whitelist_overrides: registry.counter("abp_whitelist_overrides_total"),
+            first_match_depth: registry.histogram("abp_first_match_depth"),
+            candidates: registry.counter("abp_candidates_total"),
+            prefilter_rejects: registry.counter("abp_prefilter_rejects_total"),
+        }
+    }
+}
+
+/// The compiled engine. Build once with [`CompiledEngine::compile`]; all
+/// classify state lives in the caller's [`ClassifyScratch`], so one
+/// engine serves any number of threads.
+#[derive(Debug, Clone)]
+pub struct CompiledEngine {
+    rules: Vec<CompiledRule>,
+    /// Raw rule text per rule id, shared with handed-out [`FilterRef`]s.
+    raw: Vec<Arc<str>>,
+    segs: Vec<CompiledSegment>,
+    lit_arena: Vec<u8>,
+    domain_arena: Vec<u64>,
+    blocking: CompiledIndex,
+    exceptions: CompiledIndex,
+    doc: CompiledDocIndex,
+    stats: CompileStats,
+    metrics: CompiledMetrics,
+}
+
+/// Mutable arenas shared while lowering rules.
+#[derive(Default)]
+struct Builder {
+    rules: Vec<CompiledRule>,
+    raw: Vec<Arc<str>>,
+    segs: Vec<CompiledSegment>,
+    lit_arena: Vec<u8>,
+    domain_arena: Vec<u64>,
+}
+
+impl Builder {
+    fn add_rule(&mut self, e: &Entry) -> u32 {
+        let id = self.rules.len() as u32;
+        let seg_start = self.segs.len() as u32;
+        for s in &e.filter.pattern.segments {
+            match s {
+                Segment::Literal(l) => {
+                    let off = self.lit_arena.len() as u32;
+                    self.lit_arena.extend_from_slice(l.as_bytes());
+                    self.segs.push(CompiledSegment::Lit(off, l.len() as u32));
+                }
+                Segment::Star => self.segs.push(CompiledSegment::Star),
+                Segment::Separator => self.segs.push(CompiledSegment::Sep),
+            }
+        }
+        let seg_end = self.segs.len() as u32;
+        let inc_start = self.domain_arena.len() as u32;
+        for d in &e.filter.options.include_domains {
+            self.domain_arena.push(hash_token(d.as_bytes()));
+        }
+        let inc_end = self.domain_arena.len() as u32;
+        for d in &e.filter.options.exclude_domains {
+            self.domain_arena.push(hash_token(d.as_bytes()));
+        }
+        let exc_end = self.domain_arena.len() as u32;
+        self.rules.push(CompiledRule {
+            list: e.list.0 as u32,
+            anchor: e.filter.pattern.anchor,
+            end_anchor: e.filter.pattern.end_anchor,
+            type_mask: e.filter.options.type_mask_bits(),
+            party: e.filter.options.party,
+            seg: (seg_start, seg_end),
+            include: (inc_start, inc_end),
+            exclude: (inc_end, exc_end),
+        });
+        self.raw.push(Arc::clone(&e.raw));
+        id
+    }
+
+    fn build_index(&mut self, idx: &TokenIndex) -> CompiledIndex {
+        let mut keys: Vec<u64> = idx.by_token.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = CompiledIndex::default();
+        for &k in &keys {
+            let start = out.entries.len() as u32;
+            let mut and_fp = !0u64;
+            let mut lists = 0u64;
+            for e in &idx.by_token[&k] {
+                let id = self.add_rule(e);
+                let fp = fingerprint(&e.filter.pattern);
+                and_fp &= fp;
+                lists |= list_bit(e.list.0);
+                out.entries.push(id);
+                out.fps.push(fp);
+            }
+            out.buckets.push((start, out.entries.len() as u32));
+            out.bucket_fp.push(and_fp);
+            out.bucket_lists.push(lists);
+        }
+        out.keys = keys;
+        let untok_start = out.entries.len() as u32;
+        for e in &idx.untokenized {
+            let id = self.add_rule(e);
+            out.entries.push(id);
+            out.fps.push(fingerprint(&e.filter.pattern));
+            out.untok_lists |= list_bit(e.list.0);
+        }
+        out.untok = (untok_start, out.entries.len() as u32);
+        out.build_slots();
+        out
+    }
+}
+
+/// The required-token fingerprint of a pattern: one bit (of 64) per
+/// alphanumeric run that *must* appear as a maximal run in any matching
+/// URL. A run qualifies when it is at least [`MIN_TOKEN_LEN`] long and
+/// *sealed* on both sides — bounded by a non-alphanumeric byte within the
+/// literal, an anchor, or a `^` separator — so the URL tokenizer is
+/// guaranteed to emit it. Runs touching a `*` (or an unanchored pattern
+/// edge) may be embedded in a longer URL run and are skipped.
+fn fingerprint(pattern: &Pattern) -> u64 {
+    let mut fp = 0u64;
+    for (si, seg) in pattern.segments.iter().enumerate() {
+        let Segment::Literal(l) = seg else { continue };
+        let bytes = l.as_bytes();
+        let start_sealed = match si.checked_sub(1).map(|p| &pattern.segments[p]) {
+            Some(Segment::Separator) => true,
+            Some(_) => false,
+            None => pattern.anchor != Anchor::None,
+        };
+        let end_sealed = match pattern.segments.get(si + 1) {
+            Some(Segment::Separator) => true,
+            Some(_) => false,
+            None => pattern.end_anchor,
+        };
+        let mut run_start: Option<usize> = None;
+        for i in 0..=bytes.len() {
+            let alnum = i < bytes.len() && bytes[i].is_ascii_alphanumeric();
+            if alnum {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                }
+            } else if let Some(s) = run_start.take() {
+                let sealed_left = s > 0 || start_sealed;
+                let sealed_right = i < bytes.len() || end_sealed;
+                if i - s >= MIN_TOKEN_LEN && sealed_left && sealed_right {
+                    fp |= 1u64 << (hash_token(&bytes[s..i]) & 63);
+                }
+            }
+        }
+    }
+    fp
+}
+
+/// One mask bit per [`ListId`]; ids beyond 64 poison the mask to "all
+/// lists" so the fully-matched-bucket shortcut safely disables itself.
+#[inline]
+fn list_bit(list: usize) -> u64 {
+    if list < 64 {
+        1u64 << list
+    } else {
+        !0u64
+    }
+}
+
+/// The URL's token signature: one bit per token hash, the superset mask
+/// fingerprints are tested against.
+#[inline]
+fn signature(tokens: &[u64]) -> u64 {
+    let mut sig = 0u64;
+    for &t in tokens {
+        sig |= 1u64 << (t & 63);
+    }
+    sig
+}
+
+impl CompiledEngine {
+    /// Lower a loaded engine into the flat compiled form. The source
+    /// engine stays usable (and is the reference the differential suite
+    /// compares against).
+    pub fn compile(engine: &Engine) -> CompiledEngine {
+        let mut b = Builder::default();
+        let blocking = b.build_index(&engine.blocking);
+        let exceptions = b.build_index(&engine.exceptions);
+
+        // `$document` rules, in insertion order (rule ids ascend with
+        // insertion, so sorted candidate ids replay the linear scan).
+        let mut doc = CompiledDocIndex::default();
+        let mut doc_map: HashMap<u64, Vec<u32>> = HashMap::new();
+        for e in &engine.document_exceptions.entries {
+            let id = b.add_rule(e);
+            match host_key(&e.filter.pattern) {
+                Some(key) => doc_map
+                    .entry(hash_token(key.as_bytes()))
+                    .or_default()
+                    .push(id),
+                None => doc.fallback.push(id),
+            }
+        }
+        let mut doc_keys: Vec<u64> = doc_map.keys().copied().collect();
+        doc_keys.sort_unstable();
+        for &k in &doc_keys {
+            let start = doc.entries.len() as u32;
+            doc.entries.extend_from_slice(&doc_map[&k]);
+            doc.buckets.push((start, doc.entries.len() as u32));
+        }
+        doc.keys = doc_keys;
+
+        let stats = CompileStats {
+            rules: b.rules.len(),
+            buckets: blocking.keys.len() + exceptions.keys.len(),
+            arena_bytes: b.lit_arena.len()
+                + b.segs.len() * std::mem::size_of::<CompiledSegment>()
+                + b.domain_arena.len() * 8
+                + (blocking.entries.len() + exceptions.entries.len() + doc.entries.len()) * 4
+                + (blocking.fps.len() + exceptions.fps.len()) * 8
+                + (blocking.slots.len() + exceptions.slots.len())
+                    * std::mem::size_of::<(u64, u32)>(),
+        };
+        let engine_out = CompiledEngine {
+            rules: b.rules,
+            raw: b.raw,
+            segs: b.segs,
+            lit_arena: b.lit_arena,
+            domain_arena: b.domain_arena,
+            blocking,
+            exceptions,
+            doc,
+            stats,
+            metrics: CompiledMetrics::bind(obs::global()),
+        };
+        engine_out.publish_stats(obs::global());
+        engine_out
+    }
+
+    /// Compile-time figures (rules, buckets, arena bytes).
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// Rebind metric handles to an explicit registry (hermetic tests;
+    /// per-shard registries) and publish the compile-stat gauges there.
+    pub fn bind_metrics(&mut self, registry: &obs::Registry) {
+        self.metrics = CompiledMetrics::bind(registry);
+        self.publish_stats(registry);
+    }
+
+    /// Set the compile-stat gauges on a registry.
+    pub fn publish_stats(&self, registry: &obs::Registry) {
+        registry
+            .gauge("abp_compiled_rules")
+            .set(self.stats.rules as f64);
+        registry
+            .gauge("abp_compiled_buckets")
+            .set(self.stats.buckets as f64);
+        registry
+            .gauge("abp_compiled_arena_bytes")
+            .set(self.stats.arena_bytes as f64);
+    }
+
+    /// Classify a request. Byte-identical to [`Engine::classify_in`] on
+    /// the engine this was compiled from; allocation-free apart from the
+    /// returned [`Classification`]'s own vectors.
+    pub fn classify(&self, req: &Request<'_>, scratch: &mut ClassifyScratch) -> Classification {
+        write_lower_url(req.url, &mut scratch.url_buf);
+        url_tokens_into(&scratch.url_buf, &mut scratch.tokens);
+        let url = scratch.url_buf.as_bytes();
+        let (hs, he) = host_span(&scratch.url_buf);
+        let sig = signature(&scratch.tokens);
+        let page_host = req.source_url.map(|u| u.host());
+        let third_party = page_host
+            .map(|ph| is_third_party(req.url.host(), ph))
+            .unwrap_or(false);
+        let has_page = match page_host {
+            Some(h) => {
+                host_suffix_hashes(h, &mut scratch.host_hashes);
+                true
+            }
+            None => {
+                scratch.host_hashes.clear();
+                false
+            }
+        };
+
+        let mut tally = Tally::default();
+
+        // Blocking: record at most one match per list; candidate order is
+        // URL tokens in order → bucket in insertion order → untokenized
+        // tail, exactly the reference enumeration. The fingerprint
+        // pre-filter only skips evaluation of provably non-matching
+        // candidates, so the surfaced-candidate count (and with it
+        // `first_match_depth`) is unchanged.
+        let mut blocking: Vec<FilterRef> = Vec::new();
+        let mut matched_mask = 0u64;
+        for &t in &scratch.tokens {
+            if let Some(bi) = self.blocking.bucket(t) {
+                let (start, end) = self.blocking.buckets[bi];
+                // A bucket whose every list already recorded a match is
+                // fully dup-list-skippable: it can only contribute to the
+                // candidate count (depth was fixed at the first match).
+                if matched_mask != 0 && self.blocking.bucket_lists[bi] & !matched_mask == 0 {
+                    tally.candidates += u64::from(end - start);
+                    continue;
+                }
+                if self.blocking.bucket_fp[bi] & !sig != 0 {
+                    let n = u64::from(end - start);
+                    tally.candidates += n;
+                    tally.prefilter_rejects += n;
+                    continue;
+                }
+                let before = blocking.len();
+                self.block_span(
+                    start,
+                    end,
+                    sig,
+                    req.category,
+                    has_page,
+                    third_party,
+                    url,
+                    hs,
+                    he,
+                    &scratch.host_hashes,
+                    &mut blocking,
+                    &mut tally,
+                );
+                for f in &blocking[before..] {
+                    matched_mask |= list_bit(f.list.0);
+                }
+            }
+        }
+        let (ustart, uend) = self.blocking.untok;
+        if matched_mask != 0 && self.blocking.untok_lists & !matched_mask == 0 {
+            tally.candidates += u64::from(uend - ustart);
+        } else {
+            self.block_span(
+                ustart,
+                uend,
+                sig,
+                req.category,
+                has_page,
+                third_party,
+                url,
+                hs,
+                he,
+                &scratch.host_hashes,
+                &mut blocking,
+                &mut tally,
+            );
+        }
+        blocking.sort_by_key(|f| f.list);
+        let tokenizer_hits = tally.candidates.saturating_sub(u64::from(uend - ustart));
+
+        // Exceptions against the request URL: first applicable wins.
+        let mut exception: Option<FilterRef> = 'exceptions: {
+            for &t in &scratch.tokens {
+                if let Some(bi) = self.exceptions.bucket(t) {
+                    let (start, end) = self.exceptions.buckets[bi];
+                    if self.exceptions.bucket_fp[bi] & !sig != 0 {
+                        tally.prefilter_rejects += u64::from(end - start);
+                        continue;
+                    }
+                    if let Some(f) = self.exception_span(
+                        start,
+                        end,
+                        sig,
+                        req.category,
+                        has_page,
+                        third_party,
+                        url,
+                        hs,
+                        he,
+                        &scratch.host_hashes,
+                        &mut tally,
+                    ) {
+                        break 'exceptions Some(f);
+                    }
+                }
+            }
+            let (ustart, uend) = self.exceptions.untok;
+            self.exception_span(
+                ustart,
+                uend,
+                sig,
+                req.category,
+                has_page,
+                third_party,
+                url,
+                hs,
+                he,
+                &scratch.host_hashes,
+                &mut tally,
+            )
+        };
+
+        // `$document` exceptions against the page URL (and, for document
+        // requests, the request itself): host-keyed candidates evaluated
+        // in insertion (= rule id) order.
+        let mut page_whitelisted = false;
+        if exception.is_none() && !(self.doc.keys.is_empty() && self.doc.fallback.is_empty()) {
+            let is_doc = req.category == ContentCategory::Document;
+            // Candidate discovery needs only the target's host-suffix
+            // hashes: non-document requests reuse the page hashes computed
+            // up top (`hash_token` case-folds, so raw and lowered hosts
+            // hash alike); document requests hash their own host, already
+            // lowered in the URL buffer.
+            let have_target = if is_doc {
+                host_suffix_hashes(
+                    &scratch.url_buf[hs..he.min(url.len())],
+                    &mut scratch.host_hashes,
+                );
+                true
+            } else {
+                has_page
+            };
+            if have_target {
+                scratch.candidates.clear();
+                scratch.candidates.extend_from_slice(&self.doc.fallback);
+                for h in &scratch.host_hashes {
+                    if let Ok(i) = self.doc.keys.binary_search(h) {
+                        let (s, e) = self.doc.buckets[i];
+                        scratch
+                            .candidates
+                            .extend_from_slice(&self.doc.entries[s as usize..e as usize]);
+                    }
+                }
+                scratch.candidates.sort_unstable();
+                scratch.candidates.dedup();
+                if !scratch.candidates.is_empty() {
+                    // Only a live candidate needs the target's lowered
+                    // text; document requests already have it in the URL
+                    // buffer, page targets lower lazily here.
+                    let (page_bytes, phs, phe) = if is_doc {
+                        (url, hs, he)
+                    } else {
+                        let page = req.source_url.expect("has_page implies source_url");
+                        write_lower_url(page, &mut scratch.page_buf);
+                        let (phs, phe) = host_span(&scratch.page_buf);
+                        (scratch.page_buf.as_bytes(), phs, phe)
+                    };
+                    for &id in &scratch.candidates {
+                        let rule = &self.rules[id as usize];
+                        if self.match_pattern(rule, page_bytes, phs, phe) {
+                            exception = Some(FilterRef {
+                                list: ListId(rule.list as usize),
+                                filter: Arc::clone(&self.raw[id as usize]),
+                            });
+                            page_whitelisted = !is_doc;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.metrics.requests.inc();
+        self.metrics.rules_evaluated.add(tally.rules_evaluated);
+        self.metrics.tokenizer_hits.add(tokenizer_hits);
+        self.metrics.candidates.add(tally.candidates);
+        self.metrics.prefilter_rejects.add(tally.prefilter_rejects);
+        if let Some(depth) = tally.first_match_depth {
+            self.metrics.first_match_depth.record(depth);
+        }
+        if exception.is_some() && !blocking.is_empty() {
+            self.metrics.whitelist_overrides.inc();
+        }
+
+        Classification {
+            blocking,
+            exception,
+            page_whitelisted,
+            first_match_depth: tally
+                .first_match_depth
+                .map(|d| d.min(u64::from(u32::MAX)) as u32),
+        }
+    }
+
+    /// Evaluate one span of blocking candidates.
+    #[allow(clippy::too_many_arguments)]
+    fn block_span(
+        &self,
+        start: u32,
+        end: u32,
+        sig: u64,
+        category: ContentCategory,
+        has_page: bool,
+        third_party: bool,
+        url: &[u8],
+        hs: usize,
+        he: usize,
+        page_hashes: &[u64],
+        blocking: &mut Vec<FilterRef>,
+        tally: &mut Tally,
+    ) {
+        for j in start as usize..end as usize {
+            tally.candidates += 1;
+            if self.blocking.fps[j] & !sig != 0 {
+                tally.prefilter_rejects += 1;
+                continue;
+            }
+            let id = self.blocking.entries[j];
+            let rule = &self.rules[id as usize];
+            if blocking.iter().any(|f| f.list.0 == rule.list as usize) {
+                continue;
+            }
+            tally.rules_evaluated += 1;
+            if self.rule_applies(
+                rule,
+                category,
+                has_page,
+                third_party,
+                url,
+                hs,
+                he,
+                page_hashes,
+            ) {
+                if tally.first_match_depth.is_none() {
+                    tally.first_match_depth = Some(tally.candidates - 1);
+                }
+                blocking.push(FilterRef {
+                    list: ListId(rule.list as usize),
+                    filter: Arc::clone(&self.raw[id as usize]),
+                });
+            }
+        }
+    }
+
+    /// Evaluate one span of exception candidates; `Some` on first match.
+    #[allow(clippy::too_many_arguments)]
+    fn exception_span(
+        &self,
+        start: u32,
+        end: u32,
+        sig: u64,
+        category: ContentCategory,
+        has_page: bool,
+        third_party: bool,
+        url: &[u8],
+        hs: usize,
+        he: usize,
+        page_hashes: &[u64],
+        tally: &mut Tally,
+    ) -> Option<FilterRef> {
+        for j in start as usize..end as usize {
+            if self.exceptions.fps[j] & !sig != 0 {
+                tally.prefilter_rejects += 1;
+                continue;
+            }
+            let id = self.exceptions.entries[j];
+            let rule = &self.rules[id as usize];
+            tally.rules_evaluated += 1;
+            if self.rule_applies(
+                rule,
+                category,
+                has_page,
+                third_party,
+                url,
+                hs,
+                he,
+                page_hashes,
+            ) {
+                return Some(FilterRef {
+                    list: ListId(rule.list as usize),
+                    filter: Arc::clone(&self.raw[id as usize]),
+                });
+            }
+        }
+        None
+    }
+
+    /// The compiled form of the reference `applies` closure: type mask,
+    /// hashed domain sets, party constraint, then the pattern.
+    #[allow(clippy::too_many_arguments)]
+    fn rule_applies(
+        &self,
+        rule: &CompiledRule,
+        category: ContentCategory,
+        has_page: bool,
+        third_party: bool,
+        url: &[u8],
+        hs: usize,
+        he: usize,
+        page_hashes: &[u64],
+    ) -> bool {
+        if rule.type_mask & FilterOptions::type_bit(category) == 0 {
+            return false;
+        }
+        if !self.domain_applies(rule, has_page, page_hashes) {
+            return false;
+        }
+        let party_ok = match rule.party {
+            PartyConstraint::Any => true,
+            PartyConstraint::ThirdOnly => third_party,
+            PartyConstraint::FirstOnly => !third_party,
+        };
+        party_ok && self.match_pattern(rule, url, hs, he)
+    }
+
+    /// `FilterOptions::applies_on_domain` over flat hash spans: exclusion
+    /// first, then include-empty-or-any, against the page host's
+    /// dot-suffix hashes.
+    fn domain_applies(&self, rule: &CompiledRule, has_page: bool, page_hashes: &[u64]) -> bool {
+        let include = &self.domain_arena[rule.include.0 as usize..rule.include.1 as usize];
+        if !has_page {
+            return include.is_empty();
+        }
+        let exclude = &self.domain_arena[rule.exclude.0 as usize..rule.exclude.1 as usize];
+        if exclude.iter().any(|d| page_hashes.contains(d)) {
+            return false;
+        }
+        include.is_empty() || include.iter().any(|d| page_hashes.contains(d))
+    }
+
+    /// `matcher::matches` ported to arena segments.
+    fn match_pattern(&self, rule: &CompiledRule, url: &[u8], hs: usize, he: usize) -> bool {
+        let segs = &self.segs[rule.seg.0 as usize..rule.seg.1 as usize];
+        match rule.anchor {
+            Anchor::Start => self.match_here(segs, url, 0, rule.end_anchor),
+            Anchor::Hostname => {
+                if self.match_here(segs, url, hs, rule.end_anchor) {
+                    return true;
+                }
+                let host = &url[hs..he.min(url.len())];
+                for (i, &b) in host.iter().enumerate() {
+                    if b == b'.' && self.match_here(segs, url, hs + i + 1, rule.end_anchor) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Anchor::None => match segs.first() {
+                Some(&CompiledSegment::Lit(off, len)) => {
+                    let fl = &self.lit_arena[off as usize..(off + len) as usize];
+                    if fl.is_empty() {
+                        return self.match_anywhere(segs, url, rule.end_anchor);
+                    }
+                    let mut from = 0;
+                    while let Some(pos) = find(url, fl, from) {
+                        if self.match_here(segs, url, pos, rule.end_anchor) {
+                            return true;
+                        }
+                        from = pos + 1;
+                    }
+                    false
+                }
+                _ => self.match_anywhere(segs, url, rule.end_anchor),
+            },
+        }
+    }
+
+    fn match_anywhere(&self, segs: &[CompiledSegment], bytes: &[u8], end_anchor: bool) -> bool {
+        (0..=bytes.len()).any(|i| self.match_here(segs, bytes, i, end_anchor))
+    }
+
+    /// Match the segment list starting exactly at byte offset `at` —
+    /// segment-for-segment the reference `matcher::match_here`.
+    fn match_here(
+        &self,
+        segs: &[CompiledSegment],
+        bytes: &[u8],
+        at: usize,
+        end_anchor: bool,
+    ) -> bool {
+        match segs.split_first() {
+            None => !end_anchor || at == bytes.len(),
+            Some((&CompiledSegment::Lit(off, len), rest)) => {
+                let lb = &self.lit_arena[off as usize..(off + len) as usize];
+                if at + lb.len() > bytes.len() || &bytes[at..at + lb.len()] != lb {
+                    return false;
+                }
+                self.match_here(rest, bytes, at + lb.len(), end_anchor)
+            }
+            Some((CompiledSegment::Sep, rest)) => {
+                if at == bytes.len() {
+                    return rest
+                        .iter()
+                        .all(|s| matches!(s, CompiledSegment::Star | CompiledSegment::Sep));
+                }
+                if !is_separator(bytes[at]) {
+                    return false;
+                }
+                self.match_here(rest, bytes, at + 1, end_anchor)
+            }
+            Some((CompiledSegment::Star, rest)) => {
+                if rest.is_empty() {
+                    return true;
+                }
+                (at..=bytes.len()).any(|i| self.match_here(rest, bytes, i, end_anchor))
+            }
+        }
+    }
+}
+
+/// Per-classify local tallies, flushed once into the metric handles.
+#[derive(Default)]
+struct Tally {
+    candidates: u64,
+    prefilter_rejects: u64,
+    rules_evaluated: u64,
+    first_match_depth: Option<u64>,
+}
+
+/// Byte-slice substring search starting at `from`.
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(from.min(haystack.len()));
+    }
+    if from + needle.len() > haystack.len() {
+        return None;
+    }
+    // First-byte scan, then memcmp the rest: most positions are rejected
+    // on the single-byte probe without a per-window slice compare.
+    let first = needle[0];
+    let rest = &needle[1..];
+    for i in from..=haystack.len() - needle.len() {
+        if haystack[i] == first && &haystack[i + 1..i + needle.len()] == rest {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscription::FilterList;
+    use http_model::Url;
+
+    fn engines(lists: &[(&str, &str)]) -> (Engine, CompiledEngine) {
+        let mut e = Engine::new();
+        for (name, text) in lists {
+            e.add_list(FilterList::parse(name, text));
+        }
+        let c = CompiledEngine::compile(&e);
+        (e, c)
+    }
+
+    fn assert_same(
+        e: &Engine,
+        c: &CompiledEngine,
+        url: &str,
+        page: Option<&str>,
+        cat: ContentCategory,
+    ) -> Classification {
+        let u = Url::parse(url).unwrap();
+        let p = page.map(|p| Url::parse(p).unwrap());
+        let req = Request {
+            url: &u,
+            source_url: p.as_ref(),
+            category: cat,
+        };
+        let mut scratch = ClassifyScratch::new();
+        let reference = e.classify(&req);
+        let compiled = c.classify(&req, &mut scratch);
+        assert_eq!(reference, compiled, "diverged on {url} from {page:?}");
+        compiled
+    }
+
+    const LISTS: &[(&str, &str)] = &[
+        (
+            "easylist",
+            "||ads.example^\n/banner/*/img^$image\n||track.example^$third-party\n\
+             /sponsor^$domain=news.example|~shop.news.example\n|http://exact.example/x|\n\
+             /a^\nads$script,domain=tech.example\n",
+        ),
+        ("easyprivacy", "/pixel?id=\n||beacon.example^\n"),
+        (
+            "acceptable-ads",
+            "@@||niceads.example^\n@@||portal.example^$document\n@@/allowed/*$image\n",
+        ),
+    ];
+
+    const URLS: &[(&str, Option<&str>, ContentCategory)] = &[
+        (
+            "http://ads.example/banner.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://x.com/banner/foo/img?x",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://x.com/banner/foo/img?x",
+            Some("http://pub.com/"),
+            ContentCategory::Script,
+        ),
+        (
+            "http://track.example/t.js",
+            Some("http://pub.com/"),
+            ContentCategory::Script,
+        ),
+        (
+            "http://track.example/t.js",
+            Some("http://www.track.example/"),
+            ContentCategory::Script,
+        ),
+        (
+            "http://cdn.example/sponsor/x.png",
+            Some("http://news.example/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://cdn.example/sponsor/x.png",
+            Some("http://shop.news.example/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://cdn.example/sponsor/x.png",
+            None,
+            ContentCategory::Image,
+        ),
+        ("http://exact.example/x", None, ContentCategory::Document),
+        (
+            "http://x.com/a/",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://srv.example/ads",
+            Some("http://tech.example/"),
+            ContentCategory::Script,
+        ),
+        (
+            "http://p.example/pixel?id=7",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://niceads.example/b.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://third.party/adframe.js",
+            Some("http://sub.portal.example/page"),
+            ContentCategory::Script,
+        ),
+        (
+            "http://portal.example/index.html",
+            None,
+            ContentCategory::Document,
+        ),
+        (
+            "http://x.com/allowed/banner.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+        (
+            "http://clean.example/logo.svg",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+        (
+            "HTTP://ADS.EXAMPLE/UPPER.GIF",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        ),
+    ];
+
+    #[test]
+    fn compiled_matches_reference_on_fixture() {
+        let (e, c) = engines(LISTS);
+        for &(url, page, cat) in URLS {
+            assert_same(&e, &c, url, page, cat);
+        }
+    }
+
+    #[test]
+    fn first_match_depth_identical_with_prefilter() {
+        // Several same-bucket rules where only a late one matches: the
+        // pre-filter may reject earlier ones, but the depth must still
+        // count them as surfaced candidates.
+        let (e, c) = engines(&[(
+            "easylist",
+            "/bannerxyz/one^\n/bannerxyz/two^\n/bannerxyz/\n",
+        )]);
+        let verdict = assert_same(
+            &e,
+            &c,
+            "http://x.com/bannerxyz/three.gif",
+            Some("http://pub.com/"),
+            ContentCategory::Image,
+        );
+        assert_eq!(verdict.first_match_depth, Some(2));
+    }
+
+    #[test]
+    fn fingerprint_soundness_boundary_runs() {
+        // `lick.net` embeds its first run inside a longer URL run — the
+        // fingerprint must not require "lick" (the URL tokenizes
+        // "doubleclick"), or the compiled engine would wrongly reject.
+        let (e, c) = engines(&[("easylist", "lick.net^\n")]);
+        let verdict = assert_same(
+            &e,
+            &c,
+            "http://doubleclick.net/ad.js",
+            Some("http://pub.com/"),
+            ContentCategory::Script,
+        );
+        // The reference engine *indexes* this rule under "lick", so the
+        // URL never surfaces it — equivalence, not a block, is the pin.
+        assert!(!verdict.would_block());
+        // When the run is genuinely maximal, both engines block.
+        assert_same(
+            &e,
+            &c,
+            "http://x.com/lick.net/f.js",
+            Some("http://pub.com/"),
+            ContentCategory::Script,
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (_, c) = engines(LISTS);
+        let s = c.stats();
+        assert!(s.rules >= 12, "all rules lowered: {s:?}");
+        assert!(s.buckets > 0);
+        assert!(s.arena_bytes > 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_requests() {
+        let (e, c) = engines(LISTS);
+        let mut scratch = ClassifyScratch::new();
+        for _ in 0..3 {
+            for &(url, page, cat) in URLS {
+                let u = Url::parse(url).unwrap();
+                let p = page.map(|p| Url::parse(p).unwrap());
+                let req = Request {
+                    url: &u,
+                    source_url: p.as_ref(),
+                    category: cat,
+                };
+                assert_eq!(e.classify(&req), c.classify(&req, &mut scratch));
+            }
+        }
+    }
+}

@@ -1,12 +1,13 @@
 //! The token-indexed classification engine.
 
-use crate::hiding::{selectors_for, HidingRule};
-use crate::matcher::{host_span, matches};
-use crate::rule::NetFilter;
+use crate::hiding::HidingRule;
+use crate::matcher::{host_span, is_separator, matches};
+use crate::rule::{Anchor, NetFilter, Pattern, Segment};
 use crate::subscription::FilterList;
-use crate::tokenizer::{filter_token, url_tokens};
+use crate::tokenizer::{filter_token, hash_token, url_tokens_into};
 use http_model::{is_third_party, ContentCategory, Url};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of a list loaded into an [`Engine`], in insertion order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,12 +31,14 @@ pub struct Request<'a> {
 }
 
 /// A reference to a filter that matched: which list and which rule text.
+/// The rule text is a shared `Arc<str>` backed by the engine's rule store,
+/// so classifying never copies filter bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterRef {
     /// The list the filter came from.
     pub list: ListId,
     /// The raw filter line.
-    pub filter: String,
+    pub filter: Arc<str>,
 }
 
 /// Result of classifying one request.
@@ -86,19 +89,21 @@ impl Classification {
     }
 }
 
-/// One compiled filter plus its provenance.
+/// One compiled filter plus its provenance. `raw` shares the rule text
+/// with every [`FilterRef`] handed out for this filter.
 #[derive(Debug, Clone)]
-struct Entry {
-    list: ListId,
-    filter: NetFilter,
+pub(crate) struct Entry {
+    pub(crate) list: ListId,
+    pub(crate) raw: Arc<str>,
+    pub(crate) filter: NetFilter,
 }
 
 /// Token-hash indexed filter store.
 #[derive(Debug, Default, Clone)]
-struct TokenIndex {
-    by_token: HashMap<u64, Vec<Entry>>,
+pub(crate) struct TokenIndex {
+    pub(crate) by_token: HashMap<u64, Vec<Entry>>,
     /// Filters with no usable token: always evaluated.
-    untokenized: Vec<Entry>,
+    pub(crate) untokenized: Vec<Entry>,
 }
 
 impl TokenIndex {
@@ -124,6 +129,124 @@ impl TokenIndex {
 
     fn untokenized_len(&self) -> usize {
         self.untokenized.len()
+    }
+}
+
+/// Reusable per-thread match-path buffers. One scratch per worker makes
+/// [`Engine::classify_in`] (and the compiled engine's classify) allocation
+/// free after warm-up: the lowercase URL/page buffers, the token vector,
+/// and the candidate/host-hash vectors are all reused across requests.
+#[derive(Debug, Default, Clone)]
+pub struct ClassifyScratch {
+    /// Lowercased serialization of the request URL.
+    pub(crate) url_buf: String,
+    /// Lowercased serialization of the `$document` target page URL.
+    pub(crate) page_buf: String,
+    /// Token hashes of the request URL.
+    pub(crate) tokens: Vec<u64>,
+    /// FNV hashes of every dot-suffix of a host.
+    pub(crate) host_hashes: Vec<u64>,
+    /// Candidate rule indices gathered from host-keyed buckets.
+    pub(crate) candidates: Vec<u32>,
+}
+
+impl ClassifyScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> ClassifyScratch {
+        ClassifyScratch::default()
+    }
+}
+
+/// Serialize a URL into `buf` lowercased — equivalent to
+/// `url.as_string().to_ascii_lowercase()` without the two allocations.
+/// The host is already lowercase from parsing, so for the common
+/// all-lowercase URL the in-place fold touches nothing.
+pub(crate) fn write_lower_url(url: &Url, buf: &mut String) {
+    url.write_into(buf);
+    buf.make_ascii_lowercase();
+}
+
+/// Push the FNV hash of every dot-suffix of `host` (the host itself, then
+/// each suffix starting after a `.`). `is_subdomain_or_same(host, d)` holds
+/// exactly when `d` is one of these suffixes, so domain membership reduces
+/// to hash-set probes.
+pub(crate) fn host_suffix_hashes(host: &str, out: &mut Vec<u64>) {
+    out.clear();
+    let bytes = host.as_bytes();
+    out.push(hash_token(bytes));
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.' && i + 1 < bytes.len() {
+            out.push(hash_token(&bytes[i + 1..]));
+        }
+    }
+}
+
+/// The host-keyable part of a `||`-anchored pattern: a matching URL's host
+/// must have this string as a dot-boundary suffix reaching the end of the
+/// host. `None` for shapes that can match host *prefixes* (e.g. a bare
+/// `||adserv`), which must stay on the linear fallback path.
+pub(crate) fn host_key(pattern: &Pattern) -> Option<&str> {
+    if pattern.anchor != Anchor::Hostname {
+        return None;
+    }
+    let Some(Segment::Literal(lit)) = pattern.segments.first() else {
+        return None;
+    };
+    match lit.bytes().position(is_separator) {
+        // The literal runs into the path/port: the part before the first
+        // URL-structural separator must end the host. Other separator
+        // characters (never produced by `Url` serialization inside a
+        // host) conservatively fall back to the linear scan.
+        Some(p) if p > 0 && matches!(lit.as_bytes()[p], b'/' | b':' | b'?') => Some(&lit[..p]),
+        Some(_) => None,
+        // `||domain^` / `||domain|`: the whole literal must end the host.
+        None if matches!(pattern.segments.get(1), Some(Segment::Separator)) => Some(lit.as_str()),
+        None if pattern.segments.len() == 1 && pattern.end_anchor => Some(lit.as_str()),
+        None => None,
+    }
+}
+
+/// `$document` exception store: host-keyed buckets over the insertion-order
+/// entry vector, with a linear fallback for non-keyable shapes. Lookup
+/// preserves the linear scan's first-match-in-insertion-order semantics by
+/// merging bucket and fallback indices in sorted order.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DocIndex {
+    pub(crate) entries: Vec<Entry>,
+    by_host: HashMap<u64, Vec<u32>>,
+    fallback: Vec<u32>,
+}
+
+impl DocIndex {
+    fn insert(&mut self, entry: Entry) {
+        let idx = self.entries.len() as u32;
+        match host_key(&entry.filter.pattern) {
+            Some(key) => self
+                .by_host
+                .entry(hash_token(key.as_bytes()))
+                .or_default()
+                .push(idx),
+            None => self.fallback.push(idx),
+        }
+        self.entries.push(entry);
+    }
+
+    /// Gather the candidate indices for a page host into `out`, in
+    /// insertion order.
+    fn candidates_into(&self, host_hashes: &[u64], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.fallback);
+        for h in host_hashes {
+            if let Some(bucket) = self.by_host.get(h) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -167,11 +290,15 @@ impl Default for EngineMetrics {
 #[derive(Debug, Default, Clone)]
 pub struct Engine {
     lists: Vec<String>,
-    blocking: TokenIndex,
-    exceptions: TokenIndex,
+    pub(crate) blocking: TokenIndex,
+    pub(crate) exceptions: TokenIndex,
     /// `$document` exception rules, matched against page URLs.
-    document_exceptions: Vec<Entry>,
+    pub(crate) document_exceptions: DocIndex,
     hiding: Vec<HidingRule>,
+    /// Element-hiding rule indices keyed by FNV hash of each include
+    /// domain; rules with no include domains live in `hiding_global`.
+    hiding_by_domain: HashMap<u64, Vec<u32>>,
+    hiding_global: Vec<u32>,
     /// Literal query fragments appearing in any filter — exported so the URL
     /// normalizer never rewrites values that rules depend on (§3.1).
     query_literals: Vec<String>,
@@ -196,6 +323,7 @@ impl Engine {
             }
             self.blocking.insert(Entry {
                 list: id,
+                raw: Arc::from(f.raw.as_str()),
                 filter: f,
             });
         }
@@ -203,19 +331,31 @@ impl Engine {
             for lit in f.query_literals() {
                 self.query_literals.push(lit.to_string());
             }
-            if f.options.document {
-                self.document_exceptions.push(Entry {
-                    list: id,
-                    filter: f,
-                });
+            let entry = Entry {
+                list: id,
+                raw: Arc::from(f.raw.as_str()),
+                filter: f,
+            };
+            if entry.filter.options.document {
+                self.document_exceptions.insert(entry);
             } else {
-                self.exceptions.insert(Entry {
-                    list: id,
-                    filter: f,
-                });
+                self.exceptions.insert(entry);
             }
         }
-        self.hiding.extend(list.hiding);
+        for h in list.hiding {
+            let idx = self.hiding.len() as u32;
+            if h.include_domains.is_empty() {
+                self.hiding_global.push(idx);
+            } else {
+                for d in &h.include_domains {
+                    self.hiding_by_domain
+                        .entry(hash_token(d.as_bytes()))
+                        .or_default()
+                        .push(idx);
+                }
+            }
+            self.hiding.push(h);
+        }
         id
     }
 
@@ -246,10 +386,23 @@ impl Engine {
     }
 
     /// Classify a request. See [`Classification`] for the verdict structure.
+    ///
+    /// Convenience form of [`Engine::classify_in`] that pays a fresh
+    /// scratch per call; loops should hold a [`ClassifyScratch`] and call
+    /// `classify_in` directly.
     pub fn classify(&self, req: &Request<'_>) -> Classification {
-        let url_string = req.url.as_string().to_ascii_lowercase();
-        let (hs, he) = host_span(&url_string);
-        let tokens = url_tokens(&url_string);
+        self.classify_in(req, &mut ClassifyScratch::new())
+    }
+
+    /// Classify a request using caller-provided scratch buffers. The
+    /// verdict is identical to [`Engine::classify`]; the scratch only
+    /// removes per-call allocations.
+    pub fn classify_in(&self, req: &Request<'_>, scratch: &mut ClassifyScratch) -> Classification {
+        write_lower_url(req.url, &mut scratch.url_buf);
+        let url_string = scratch.url_buf.as_str();
+        let (hs, he) = host_span(url_string);
+        url_tokens_into(url_string, &mut scratch.tokens);
+        let tokens = scratch.tokens.as_slice();
         let page_host = req.source_url.map(|u| u.host());
         let third_party = page_host
             .map(|ph| is_third_party(req.url.host(), ph))
@@ -265,7 +418,7 @@ impl Engine {
             o.applies_to_type(req.category)
                 && o.applies_on_domain(page_host)
                 && o.applies_to_party(third_party)
-                && matches(&e.filter.pattern, &url_string, hs, he)
+                && matches(&e.filter.pattern, url_string, hs, he)
         };
 
         // Blocking: record at most one match per list, in list order.
@@ -273,7 +426,7 @@ impl Engine {
         // the visited count minus the always-appended untokenized tail.
         let mut blocking: Vec<FilterRef> = Vec::new();
         let mut blocking_candidates = 0u64;
-        for e in self.blocking.candidates(&tokens) {
+        for e in self.blocking.candidates(tokens) {
             blocking_candidates += 1;
             if blocking.iter().any(|f| f.list == e.list) {
                 continue;
@@ -284,7 +437,7 @@ impl Engine {
                 }
                 blocking.push(FilterRef {
                     list: e.list,
-                    filter: e.filter.raw.clone(),
+                    filter: Arc::clone(&e.raw),
                 });
             }
         }
@@ -294,18 +447,20 @@ impl Engine {
 
         // Exceptions against the request URL.
         let mut exception = None;
-        for e in self.exceptions.candidates(&tokens) {
+        for e in self.exceptions.candidates(tokens) {
             if applies(e) {
                 exception = Some(FilterRef {
                     list: e.list,
-                    filter: e.filter.raw.clone(),
+                    filter: Arc::clone(&e.raw),
                 });
                 break;
             }
         }
 
         // `$document` exceptions against the page URL (and, for document
-        // requests, against the request itself).
+        // requests, against the request itself). Candidates come from the
+        // host-keyed buckets; evaluation order is insertion order, so the
+        // first match is the same rule the old linear scan found.
         let mut page_whitelisted = false;
         if exception.is_none() {
             let doc_target: Option<&Url> = match req.category {
@@ -313,13 +468,18 @@ impl Engine {
                 _ => req.source_url,
             };
             if let Some(page) = doc_target {
-                let page_string = page.as_string().to_ascii_lowercase();
-                let (phs, phe) = host_span(&page_string);
-                for e in &self.document_exceptions {
-                    if matches(&e.filter.pattern, &page_string, phs, phe) {
+                write_lower_url(page, &mut scratch.page_buf);
+                let page_string = scratch.page_buf.as_str();
+                let (phs, phe) = host_span(page_string);
+                host_suffix_hashes(&page_string[phs..phe], &mut scratch.host_hashes);
+                self.document_exceptions
+                    .candidates_into(&scratch.host_hashes, &mut scratch.candidates);
+                for &i in &scratch.candidates {
+                    let e = &self.document_exceptions.entries[i as usize];
+                    if matches(&e.filter.pattern, page_string, phs, phe) {
                         exception = Some(FilterRef {
                             list: e.list,
-                            filter: e.filter.raw.clone(),
+                            filter: Arc::clone(&e.raw),
                         });
                         page_whitelisted = req.category != ContentCategory::Document;
                         break;
@@ -346,9 +506,37 @@ impl Engine {
         }
     }
 
-    /// Element-hiding selectors active on a page host.
+    /// Element-hiding selectors active on a page host. Candidate rules come
+    /// from the host-keyed domain buckets plus the global (unrestricted)
+    /// set; exclusion domains and exceptions are then applied exactly as
+    /// the full linear scan would.
     pub fn hiding_selectors(&self, host: &str) -> Vec<&str> {
-        selectors_for(&self.hiding, host)
+        let mut hashes = Vec::new();
+        host_suffix_hashes(host, &mut hashes);
+        let mut cand: Vec<u32> = self.hiding_global.clone();
+        for h in &hashes {
+            if let Some(bucket) = self.hiding_by_domain.get(h) {
+                cand.extend_from_slice(bucket);
+            }
+        }
+        cand.sort_unstable();
+        cand.dedup();
+        let mut hidden: Vec<&str> = Vec::new();
+        for &i in &cand {
+            let r = &self.hiding[i as usize];
+            if !r.is_exception && r.applies_to(host) {
+                hidden.push(r.selector.as_str());
+            }
+        }
+        hidden.retain(|sel| {
+            !cand.iter().any(|&i| {
+                let r = &self.hiding[i as usize];
+                r.is_exception && r.applies_to(host) && r.selector == *sel
+            })
+        });
+        hidden.sort_unstable();
+        hidden.dedup();
+        hidden
     }
 }
 
@@ -504,6 +692,73 @@ mod tests {
     }
 
     #[test]
+    fn document_exception_with_path_tail() {
+        // A `$document` rule whose literal runs into the path is keyed by
+        // its host part; the path tail is still enforced by the matcher.
+        let (e, _) = engine_with(&[
+            ("easylist", "/adframe.\n"),
+            ("acceptable-ads", "@@||portal.example/news/$document\n"),
+        ]);
+        let on_news = classify(
+            &e,
+            "http://third.party/adframe.js",
+            Some("http://www.portal.example/news/today"),
+            ContentCategory::Script,
+        );
+        assert!(on_news.page_whitelisted);
+        let on_shop = classify(
+            &e,
+            "http://third.party/adframe.js",
+            Some("http://www.portal.example/shop/"),
+            ContentCategory::Script,
+        );
+        assert!(!on_shop.page_whitelisted);
+        assert!(on_shop.would_block());
+    }
+
+    #[test]
+    fn document_exception_prefix_shape_uses_fallback() {
+        // `||adserv` (no terminator) matches host *prefixes* and cannot be
+        // host-keyed; the fallback path must still find it.
+        let (e, _) = engine_with(&[
+            ("easylist", "/adframe.\n"),
+            ("acceptable-ads", "@@||adserv$document\n"),
+        ]);
+        let c = classify(
+            &e,
+            "http://third.party/adframe.js",
+            Some("http://adserver-portal.example/"),
+            ContentCategory::Script,
+        );
+        assert!(
+            c.page_whitelisted,
+            "prefix-shaped rule must match via fallback"
+        );
+    }
+
+    #[test]
+    fn document_exception_insertion_order_first_match() {
+        // Both a fallback-shaped and a keyed rule match the page; the one
+        // loaded first must win, exactly like the old linear scan.
+        let (e, ids) = engine_with(&[
+            (
+                "acceptable-ads",
+                "@@||wide$document\n@@||widepages.example^$document\n",
+            ),
+            ("other-exceptions", "@@||widepages.example/x$document\n"),
+        ]);
+        let c = classify(
+            &e,
+            "http://third.party/x.js",
+            Some("http://widepages.example/x"),
+            ContentCategory::Script,
+        );
+        let ex = c.exception.expect("a document exception must match");
+        assert_eq!(ex.list, ids[0]);
+        assert_eq!(&*ex.filter, "@@||wide$document");
+    }
+
+    #[test]
     fn per_list_attribution() {
         let (e, ids) = engine_with(&[
             ("easylist", "/banner/\n"),
@@ -635,6 +890,76 @@ mod tests {
         let (e, _) = engine_with(&[("easylist", "##.adbox\nexample.com#@#.adbox\n")]);
         assert_eq!(e.hiding_selectors("other.com"), vec![".adbox"]);
         assert!(e.hiding_selectors("example.com").is_empty());
+    }
+
+    #[test]
+    fn hiding_selectors_domain_keyed() {
+        let (e, _) = engine_with(&[(
+            "easylist",
+            "example.com##.sponsored\nexample.com,other.org##.promo\n\
+             ~shop.example.com##.sitewide\nexample.com#@#.sitewide\n",
+        )]);
+        assert_eq!(
+            e.hiding_selectors("news.example.com"),
+            vec![".promo", ".sponsored"]
+        );
+        assert_eq!(e.hiding_selectors("other.org"), vec![".promo", ".sitewide"]);
+        // `.sitewide` is excluded on shop.example.com, but the include-keyed
+        // rules still apply there (it is a subdomain of example.com).
+        assert_eq!(
+            e.hiding_selectors("shop.example.com"),
+            vec![".promo", ".sponsored"]
+        );
+        assert_eq!(e.hiding_selectors("unrelated.net"), vec![".sitewide"]);
+    }
+
+    #[test]
+    fn classify_in_reuses_scratch() {
+        let (e, _) = engine_with(&[("easylist", "||ads.example^\n")]);
+        let mut scratch = ClassifyScratch::new();
+        let u1 = Url::parse("http://ads.example/banner.gif").unwrap();
+        let u2 = Url::parse("http://cdn.example.net/logo.png").unwrap();
+        let page = Url::parse("http://pub.com/").unwrap();
+        for _ in 0..3 {
+            let hit = e.classify_in(
+                &Request {
+                    url: &u1,
+                    source_url: Some(&page),
+                    category: ContentCategory::Image,
+                },
+                &mut scratch,
+            );
+            assert!(hit.would_block());
+            let miss = e.classify_in(
+                &Request {
+                    url: &u2,
+                    source_url: Some(&page),
+                    category: ContentCategory::Image,
+                },
+                &mut scratch,
+            );
+            assert!(!miss.is_ad());
+        }
+    }
+
+    #[test]
+    fn host_key_shapes() {
+        let key = |line: &str| {
+            let list = FilterList::parse("x", &format!("{line}\n"));
+            let f = list
+                .blocking
+                .first()
+                .or(list.exceptions.first())
+                .expect("parsed")
+                .clone();
+            host_key(&f.pattern).map(str::to_string)
+        };
+        assert_eq!(key("||example.com^"), Some("example.com".to_string()));
+        assert_eq!(key("||example.com/ads"), Some("example.com".to_string()));
+        assert_eq!(key("||example.com:8080/"), Some("example.com".to_string()));
+        assert_eq!(key("||adserv"), None, "prefix shape is not keyable");
+        assert_eq!(key("||ads*tracker^"), None, "wildcard head is not keyable");
+        assert_eq!(key("/banner/"), None, "unanchored is not keyable");
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod engine;
 pub mod hiding;
 pub mod matcher;
@@ -53,7 +54,10 @@ pub mod rule;
 pub mod subscription;
 pub mod tokenizer;
 
-pub use engine::{Classification, Engine, EngineMetrics, FilterRef, ListId, Request};
+pub use compiled::{CompileStats, CompiledEngine};
+pub use engine::{
+    Classification, ClassifyScratch, Engine, EngineMetrics, FilterRef, ListId, Request,
+};
 pub use hiding::HidingRule;
 pub use options::{FilterOptions, PartyConstraint};
 pub use parser::{parse_line, ParsedLine};

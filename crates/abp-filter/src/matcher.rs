@@ -117,10 +117,16 @@ fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
     if from + needle.len() > haystack.len() {
         return None;
     }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    // First-byte scan, then memcmp the rest: most positions are rejected
+    // on the single-byte probe without a per-window slice compare.
+    let first = needle[0];
+    let rest = &needle[1..];
+    for i in from..=haystack.len() - needle.len() {
+        if haystack[i] == first && &haystack[i + 1..i + needle.len()] == rest {
+            return Some(i);
+        }
+    }
+    None
 }
 
 /// Locate the host within a full URL string: returns `(host_start, host_end)`.

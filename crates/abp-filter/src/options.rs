@@ -162,6 +162,16 @@ impl FilterOptions {
         self.type_mask & bit(cat) != 0
     }
 
+    /// The raw category bitmask, for the compiled engine's flat rule table.
+    pub(crate) fn type_mask_bits(&self) -> u16 {
+        self.type_mask
+    }
+
+    /// The bit for one category in [`Self::type_mask_bits`] terms.
+    pub(crate) fn type_bit(cat: ContentCategory) -> u16 {
+        bit(cat)
+    }
+
     /// Does the rule apply given the page host the request originated from?
     /// `page_host == None` means no page context (treated as unrestricted
     /// unless the rule requires specific domains).

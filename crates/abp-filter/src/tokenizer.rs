@@ -25,8 +25,16 @@ pub fn hash_token(bytes: &[u8]) -> u64 {
 /// Iterate the token hashes of a URL string: every maximal alphanumeric run
 /// of length >= [`MIN_TOKEN_LEN`].
 pub fn url_tokens(url: &str) -> Vec<u64> {
-    let bytes = url.as_bytes();
     let mut out = Vec::with_capacity(16);
+    url_tokens_into(url, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`url_tokens`]: clears `out` and appends the
+/// token hashes, reusing the caller's buffer across requests.
+pub fn url_tokens_into(url: &str, out: &mut Vec<u64>) {
+    out.clear();
+    let bytes = url.as_bytes();
     let mut start = None;
     for (i, &b) in bytes.iter().enumerate() {
         if b.is_ascii_alphanumeric() {
@@ -44,7 +52,6 @@ pub fn url_tokens(url: &str) -> Vec<u64> {
             out.push(hash_token(&bytes[s..]));
         }
     }
-    out
 }
 
 /// Choose the best indexing token of a filter literal set: the *longest*

@@ -1,0 +1,168 @@
+//! Differential tests: the compiled engine must produce **byte-identical**
+//! [`Classification`]s to the reference engine — same blocking set in the
+//! same order, same exception, same `page_whitelisted`, same
+//! `first_match_depth` — over generated rule sets × URLs × options.
+//!
+//! `Classification` derives `PartialEq`, so one `prop_assert_eq!` covers
+//! the whole contract (including per-list attribution order, since
+//! `blocking` is an ordered `Vec`).
+
+use abp_filter::{Classification, ClassifyScratch, CompiledEngine, Engine, FilterList, Request};
+use http_model::{ContentCategory, Url};
+use proptest::prelude::*;
+
+fn host_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z][a-z0-9]{0,8}", 2..4).prop_map(|labels| labels.join("."))
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-zA-Z0-9_.-]{1,8}", 0..4)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+/// Rule shapes covering every compiled code path: hostname anchors, start
+/// anchors, path rules, wildcards, separators, type options, party
+/// options, `$domain=` include/exclude, `match-case`, exceptions, and
+/// `$document` page whitelists.
+fn rule_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        host_strategy().prop_map(|h| format!("||{h}^")),
+        host_strategy().prop_map(|h| format!("||{h}^$third-party")),
+        host_strategy().prop_map(|h| format!("||{h}^$image,script")),
+        host_strategy().prop_map(|h| format!("||{h}/ads/")),
+        (host_strategy(), host_strategy()).prop_map(|(h, d)| format!("||{h}^$domain={d}")),
+        (host_strategy(), host_strategy()).prop_map(|(h, d)| format!("||{h}^$domain=~{d}")),
+        path_strategy().prop_map(|p| format!("{p}^")),
+        path_strategy().prop_map(|p| format!("{p}/*")),
+        path_strategy().prop_map(|p| format!("{p}$~third-party")),
+        "[a-z]{3,8}".prop_map(|w| format!("&{w}_id=")),
+        "[a-z]{3,8}".prop_map(|w| format!("|http://{w}.example/")),
+        "[a-z]{3,8}".prop_map(|w| format!("{w}$match-case")),
+        (host_strategy(), path_strategy()).prop_map(|(h, p)| format!("@@||{h}{p}")),
+        host_strategy().prop_map(|h| format!("@@||{h}^$document")),
+        host_strategy().prop_map(|h| format!("@@||{h}^")),
+    ]
+}
+
+fn build(rule_lists: &[Vec<String>]) -> (Engine, CompiledEngine) {
+    let mut engine = Engine::new();
+    for (i, rules) in rule_lists.iter().enumerate() {
+        engine.add_list(FilterList::parse(&format!("list{i}"), &rules.join("\n")));
+    }
+    let compiled = CompiledEngine::compile(&engine);
+    (engine, compiled)
+}
+
+fn both(
+    engine: &Engine,
+    compiled: &CompiledEngine,
+    scratch: &mut ClassifyScratch,
+    url: &Url,
+    page: Option<&Url>,
+    cat: ContentCategory,
+) -> (Classification, Classification) {
+    let req = Request {
+        url,
+        source_url: page,
+        category: cat,
+    };
+    (engine.classify(&req), compiled.classify(&req, scratch))
+}
+
+proptest! {
+    #[test]
+    fn compiled_verdicts_identical(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(rule_strategy(), 1..16), 1..4),
+        host in host_strategy(),
+        path in path_strategy(),
+        page_host in host_strategy(),
+        with_page in 0..2u8,
+    ) {
+        let (engine, compiled) = build(&lists);
+        let mut scratch = ClassifyScratch::new();
+        let url = Url::parse(&format!("http://{host}{path}")).unwrap();
+        let page = Url::parse(&format!("http://{page_host}/")).unwrap();
+        let page = (with_page == 1).then_some(&page);
+        for cat in ContentCategory::ALL {
+            let (r, c) = both(&engine, &compiled, &mut scratch, &url, page, cat);
+            prop_assert_eq!(r, c, "diverged on {} ({:?})", url, cat);
+        }
+    }
+
+    #[test]
+    fn compiled_identical_on_rule_derived_urls(
+        rules in proptest::collection::vec(rule_strategy(), 1..24),
+        suffix in "[a-z0-9]{0,6}",
+        cat_idx in 0..ContentCategory::ALL.len(),
+    ) {
+        // URLs derived from the rules themselves maximize match density —
+        // the interesting half of the space (random URLs mostly miss).
+        let (engine, compiled) = build(&[rules.clone()]);
+        let mut scratch = ClassifyScratch::new();
+        let cat = ContentCategory::ALL[cat_idx];
+        let page = Url::parse("http://page.example/").unwrap();
+        for rule in &rules {
+            let stripped = rule
+                .trim_start_matches("@@")
+                .trim_start_matches("||")
+                .trim_start_matches('|');
+            let body = stripped.split('$').next().unwrap_or("");
+            let body = body.replace(['^', '*'], "/");
+            let candidate = if body.starts_with("http://") {
+                format!("{body}{suffix}")
+            } else if body.starts_with('/') || body.starts_with('&') {
+                format!("http://site.example/x{body}{suffix}")
+            } else {
+                format!("http://{body}{suffix}")
+            };
+            let Ok(url) = Url::parse(&candidate) else { continue };
+            let (r, c) = both(&engine, &compiled, &mut scratch, &url, Some(&page), cat);
+            prop_assert_eq!(r, c, "diverged on {} ({:?})", url, cat);
+        }
+    }
+}
+
+/// Dense seeded sweep with shared hosts/markers so candidates collide in
+/// buckets across lists (exercising dup-list skips, depth accounting, and
+/// the bucket-level AND early-out) — the proptest shapes above rarely
+/// produce deep buckets.
+#[test]
+fn compiled_identical_on_colliding_buckets() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let hosts: Vec<String> = (0..12).map(|i| format!("srv{i}.example")).collect();
+    let markers = ["/ads/", "/banners/", "/track/", "/content/"];
+    let mut lists: Vec<Vec<String>> = vec![Vec::new(); 3];
+    for (i, h) in hosts.iter().enumerate() {
+        lists[i % 3].push(format!("||{h}^"));
+        if i % 2 == 0 {
+            lists[(i + 1) % 3].push(format!("||{h}/ads/"));
+        }
+    }
+    for m in markers {
+        lists[0].push(format!("{m}"));
+        lists[1].push(format!("{m}*img^"));
+    }
+    lists[2].push("@@||srv3.example/ads/allowed/".to_string());
+    lists[2].push("@@||srv5.example^$document".to_string());
+    let (engine, compiled) = build(&lists);
+    let mut scratch = ClassifyScratch::new();
+    let pages: Vec<Url> = (0..4)
+        .map(|i| Url::parse(&format!("http://page{i}.example/")).unwrap())
+        .collect();
+    for _ in 0..4000 {
+        let host = &hosts[rng.gen_range(0..hosts.len())];
+        let marker = markers[rng.gen_range(0..markers.len())];
+        let url = Url::parse(&format!(
+            "http://{host}{marker}img{}.gif",
+            rng.gen_range(0..40)
+        ))
+        .unwrap();
+        let page = (!rng.gen_bool(0.1)).then(|| &pages[rng.gen_range(0..pages.len())]);
+        let cat = ContentCategory::ALL[rng.gen_range(0..ContentCategory::ALL.len())];
+        let (r, c) = both(&engine, &compiled, &mut scratch, &url, page, cat);
+        assert_eq!(r, c, "diverged on {url} ({cat:?})");
+    }
+}

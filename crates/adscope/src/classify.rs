@@ -1,7 +1,42 @@
 //! Per-request ad classification: the libadblockplus invocation.
 
-use abp_filter::{Classification, Engine, FilterList, ListId, Request};
+use abp_filter::{
+    Classification, ClassifyScratch, CompiledEngine, Engine, FilterList, ListId, Request,
+};
 use http_model::{ContentCategory, Url};
+
+/// Which match-path implementation the classifier runs.
+///
+/// Both produce byte-identical [`Classification`]s (the differential test
+/// suite pins this); `Compiled` is the default and is several times faster
+/// at EasyList scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// The arena-compiled, fingerprint-prefiltered engine.
+    #[default]
+    Compiled,
+    /// The original token-indexed `HashMap` engine.
+    Reference,
+}
+
+impl EngineMode {
+    /// Parse the `--engine` flag value.
+    pub fn parse(s: &str) -> Option<EngineMode> {
+        match s {
+            "compiled" => Some(EngineMode::Compiled),
+            "reference" => Some(EngineMode::Reference),
+            _ => None,
+        }
+    }
+
+    /// Canonical name, as accepted by [`EngineMode::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineMode::Compiled => "compiled",
+            EngineMode::Reference => "reference",
+        }
+    }
+}
 
 /// Which conceptual list a verdict belongs to, independent of engine load
 /// order.
@@ -151,20 +186,35 @@ impl AdLabel {
 /// `(url, page, type)` invocation of §3.1.
 pub struct PassiveClassifier {
     engine: Engine,
+    compiled: Option<CompiledEngine>,
     kinds: Vec<ListKind>,
 }
 
 impl PassiveClassifier {
     /// Build from filter lists (load order defines primary attribution for
-    /// multi-list hits; pass EasyList first like the paper).
+    /// multi-list hits; pass EasyList first like the paper). Uses the
+    /// compiled engine; see [`PassiveClassifier::with_mode`] to opt out.
     pub fn new(lists: Vec<FilterList>) -> PassiveClassifier {
+        PassiveClassifier::with_mode(lists, EngineMode::Compiled)
+    }
+
+    /// Build with an explicit [`EngineMode`] (the `--engine` flag).
+    pub fn with_mode(lists: Vec<FilterList>, mode: EngineMode) -> PassiveClassifier {
         let mut engine = Engine::new();
         let mut kinds = Vec::with_capacity(lists.len());
         for l in lists {
             kinds.push(ListKind::from_name(&l.name));
             engine.add_list(l);
         }
-        PassiveClassifier { engine, kinds }
+        let compiled = match mode {
+            EngineMode::Compiled => Some(CompiledEngine::compile(&engine)),
+            EngineMode::Reference => None,
+        };
+        PassiveClassifier {
+            engine,
+            compiled,
+            kinds,
+        }
     }
 
     /// The underlying engine (for the normalizer's query literals).
@@ -172,14 +222,40 @@ impl PassiveClassifier {
         &self.engine
     }
 
+    /// The compiled engine, when running in [`EngineMode::Compiled`].
+    pub fn compiled(&self) -> Option<&CompiledEngine> {
+        self.compiled.as_ref()
+    }
+
+    /// The active engine mode.
+    pub fn mode(&self) -> EngineMode {
+        match self.compiled {
+            Some(_) => EngineMode::Compiled,
+            None => EngineMode::Reference,
+        }
+    }
+
     /// Kind of an engine list id.
     pub fn kind_of(&self, id: ListId) -> ListKind {
         self.kinds[id.0]
     }
 
-    /// Classify one request.
+    /// Classify one request (convenience wrapper allocating fresh scratch;
+    /// hot paths use [`PassiveClassifier::classify_in`]).
     pub fn classify(&self, url: &Url, page: Option<&Url>, category: ContentCategory) -> AdLabel {
         self.classify_traced(url, page, category).0
+    }
+
+    /// Classify one request with caller-owned scratch (zero-alloc match
+    /// path under the compiled engine).
+    pub fn classify_in(
+        &self,
+        url: &Url,
+        page: Option<&Url>,
+        category: ContentCategory,
+        scratch: &mut ClassifyScratch,
+    ) -> AdLabel {
+        self.classify_traced_in(url, page, category, scratch).0
     }
 
     /// Classify one request, also returning the engine's full
@@ -194,11 +270,27 @@ impl PassiveClassifier {
         page: Option<&Url>,
         category: ContentCategory,
     ) -> (AdLabel, Classification) {
-        let c = self.engine.classify(&Request {
+        let mut scratch = ClassifyScratch::new();
+        self.classify_traced_in(url, page, category, &mut scratch)
+    }
+
+    /// [`PassiveClassifier::classify_traced`] with caller-owned scratch.
+    pub fn classify_traced_in(
+        &self,
+        url: &Url,
+        page: Option<&Url>,
+        category: ContentCategory,
+        scratch: &mut ClassifyScratch,
+    ) -> (AdLabel, Classification) {
+        let req = Request {
             url,
             source_url: page,
             category,
-        });
+        };
+        let c = match &self.compiled {
+            Some(compiled) => compiled.classify(&req, scratch),
+            None => self.engine.classify_in(&req, scratch),
+        };
         (AdLabel::from_classification(&c, &self.kinds), c)
     }
 }

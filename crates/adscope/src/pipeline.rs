@@ -235,14 +235,19 @@ pub fn classify_trace_in(
     let mut span = registry.span_with("adscope_stage", &[("stage", "classify")]);
     span.count("records_in", objects.len() as u64);
     let mut provenance: Vec<VerdictProvenance> = Vec::new();
+    let mut scratch = abp_filter::ClassifyScratch::new();
     let requests: Vec<ClassifiedRequest> = objects
         .iter()
         .enumerate()
         .map(|(pos, obj)| {
             let url = normalizer.normalize(&obj.url);
             let label = if let Some(t) = &tracer {
-                let (label, c) =
-                    classifier.classify_traced(&url, pages[pos].as_ref(), categories[pos]);
+                let (label, c) = classifier.classify_traced_in(
+                    &url,
+                    pages[pos].as_ref(),
+                    categories[pos],
+                    &mut scratch,
+                );
                 if let Some(cause) = t.cause(obj.idx as u64, &c, pages[pos].is_none()) {
                     provenance.push(t.build(
                         cause,
@@ -257,7 +262,7 @@ pub fn classify_trace_in(
                 }
                 label
             } else {
-                classifier.classify(&url, pages[pos].as_ref(), categories[pos])
+                classifier.classify_in(&url, pages[pos].as_ref(), categories[pos], &mut scratch)
             };
             ClassifiedRequest {
                 ts: obj.ts,

@@ -425,7 +425,7 @@ impl Tracer {
         let rule = |f: &FilterRef| RuleMatch {
             kind: classifier.kind_of(f.list).label(),
             list: classifier.engine().list_name(f.list).to_string(),
-            rule: f.filter.clone(),
+            rule: f.filter.to_string(),
         };
         VerdictProvenance {
             trace_id: self.trace_id(obj.idx as u64),

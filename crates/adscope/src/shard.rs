@@ -148,8 +148,10 @@ fn process_shard(
         }
     }
 
-    // Pass 3: normalize + classify.
+    // Pass 3: normalize + classify. One scratch per shard worker keeps the
+    // compiled match path allocation-free.
     let mut prov: Vec<(usize, VerdictProvenance)> = Vec::new();
+    let mut scratch = abp_filter::ClassifyScratch::new();
     let requests = positions
         .iter()
         .enumerate()
@@ -157,8 +159,12 @@ fn process_shard(
             let obj = &objects[pos];
             let url = normalizer.normalize(&obj.url);
             let label = if let Some(t) = tracer {
-                let (label, c) =
-                    classifier.classify_traced(&url, pages[local].as_ref(), categories[local]);
+                let (label, c) = classifier.classify_traced_in(
+                    &url,
+                    pages[local].as_ref(),
+                    categories[local],
+                    &mut scratch,
+                );
                 if let Some(cause) = t.cause(obj.idx as u64, &c, pages[local].is_none()) {
                     prov.push((
                         pos,
@@ -176,7 +182,7 @@ fn process_shard(
                 }
                 label
             } else {
-                classifier.classify(&url, pages[local].as_ref(), categories[local])
+                classifier.classify_in(&url, pages[local].as_ref(), categories[local], &mut scratch)
             };
             (
                 pos,

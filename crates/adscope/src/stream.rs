@@ -413,6 +413,9 @@ struct Core<'a> {
     ads: u64,
     collect: bool,
     collected: Vec<(u64, ClassifiedRequest)>,
+    /// Reusable classify scratch: the match path allocates nothing per
+    /// record under the compiled engine.
+    scratch: abp_filter::ClassifyScratch,
 }
 
 impl Core<'_> {
@@ -423,7 +426,9 @@ impl Core<'_> {
             self.content_type_fallbacks += 1;
         }
         let url = self.normalizer.normalize(&h.obj.url);
-        let label = self.classifier.classify(&url, h.page.as_ref(), h.category);
+        let label =
+            self.classifier
+                .classify_in(&url, h.page.as_ref(), h.category, &mut self.scratch);
         let req = ClassifiedRequest {
             ts: h.obj.ts,
             client_ip: h.obj.client_ip,
@@ -522,6 +527,7 @@ impl<'a> Worker<'a> {
                 ads: 0,
                 collect,
                 collected: Vec::new(),
+                scratch: abp_filter::ClassifyScratch::new(),
             },
             quarantine,
             poison_host,

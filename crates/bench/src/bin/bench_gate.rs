@@ -45,10 +45,11 @@ use std::fmt::Write as _;
 use std::process::exit;
 
 /// Gated benchmarks: (group, name, allowed latest/baseline ratio).
-const GATES: [(&str, &str, f64); 3] = [
+const GATES: [(&str, &str, f64); 4] = [
     ("trace_io", "read", 1.20),
     ("pipeline", "full_pipeline_sharded", 1.20),
     ("streaming_pipeline", "stream_file_sharded", 1.20),
+    ("filter_engine", "classify_compiled_easylist", 1.20),
 ];
 
 /// Self-relative overhead gates within the latest run:
@@ -69,6 +70,28 @@ const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 2] = [
         1.15,
     ),
 ];
+
+/// Compiled-engine speedup floor, self-relative within the latest run:
+/// the compiled engine's `low_ns` must be at most this fraction of the
+/// reference engine's on the same corpus. (Measured ~0.55 on the 1-core
+/// reference container; 0.80 trips a real regression without flaking.)
+const SPEEDUP_FLOORS: [(&str, &str, &str, f64); 1] = [(
+    "filter_engine",
+    "classify_compiled_easylist",
+    "classify_reference_easylist",
+    0.80,
+)];
+
+/// Absolute throughput floor: (group, name, elements per iteration,
+/// ceiling in ns per element). `classify_compiled_easylist` classifies
+/// 2000 requests per iteration; 1000 ns/request is the
+/// 1 M req/s/core acceptance line.
+const THROUGHPUT_FLOORS: [(&str, &str, f64, f64); 1] = [(
+    "filter_engine",
+    "classify_compiled_easylist",
+    2000.0,
+    1000.0,
+)];
 
 fn load(path: &str) -> HashMap<(String, String), f64> {
     let text = match std::fs::read_to_string(path) {
@@ -335,6 +358,78 @@ fn main() {
                 eprintln!(
                     "bench_gate: FAIL {group}: {off_name}/{on_name} missing from {latest_path}"
                 );
+                failed = true;
+            }
+        }
+    }
+
+    // Compiled-engine speedup floors, measured within the latest run
+    // (self-relative, so machine speed cancels out).
+    for (group, fast_name, slow_name, floor) in SPEEDUP_FLOORS {
+        let slow = latest.get(&(group.to_string(), slow_name.to_string()));
+        let fast = latest.get(&(group.to_string(), fast_name.to_string()));
+        match (slow, fast) {
+            (Some(&slow), Some(&fast)) if slow > 0.0 => {
+                let ratio = fast / slow;
+                let ok = ratio <= floor;
+                let verdict = if ok { "ok" } else { "FAIL" };
+                println!(
+                    "bench_gate: {verdict} {group}: {fast_name} is {:.2}x {slow_name} \
+                     ({:.2}ms vs {:.2}ms, floor {:.2}x)",
+                    ratio,
+                    fast / 1e6,
+                    slow / 1e6,
+                    floor,
+                );
+                checks.push(Check {
+                    name: format!("{group}/{fast_name}:{slow_name}"),
+                    base_ns: slow,
+                    latest_ns: fast,
+                    ceiling: floor,
+                    ok,
+                });
+                if !ok {
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!(
+                    "bench_gate: FAIL {group}: {slow_name}/{fast_name} missing from {latest_path}"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Absolute per-element ceilings: the one place the gate compares
+    // against a wall-clock constant instead of a ratio, because the
+    // claim itself ("over 1 M req/s/core") is absolute.
+    for (group, name, elements, ceiling_ns) in THROUGHPUT_FLOORS {
+        match latest.get(&(group.to_string(), name.to_string())) {
+            Some(&low) if low > 0.0 => {
+                let per_elem = low / elements;
+                let ok = per_elem <= ceiling_ns;
+                let verdict = if ok { "ok" } else { "FAIL" };
+                println!(
+                    "bench_gate: {verdict} {group}/{name}: {:.0} ns/request = \
+                     {:.2} M req/s/core (ceiling {:.0} ns/request)",
+                    per_elem,
+                    1e3 / per_elem,
+                    ceiling_ns,
+                );
+                checks.push(Check {
+                    name: format!("{group}/{name}:per_element"),
+                    base_ns: ceiling_ns,
+                    latest_ns: per_elem,
+                    ceiling: 1.0,
+                    ok,
+                });
+                if !ok {
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!("bench_gate: FAIL {group}/{name}: missing from {latest_path}");
                 failed = true;
             }
         }

@@ -252,18 +252,26 @@ impl Url {
         let mut s = String::with_capacity(
             self.host.len() + self.path.len() + self.query.as_deref().map_or(0, str::len) + 12,
         );
+        self.write_into(&mut s);
+        s
+    }
+
+    /// Serialize into a caller-provided buffer (cleared first) — the
+    /// allocation-free form of [`Url::as_string`] for hot paths that reuse
+    /// one buffer across many URLs.
+    pub fn write_into(&self, s: &mut String) {
+        use fmt::Write as _;
+        s.clear();
         s.push_str(self.scheme.prefix());
         s.push_str(&self.host);
         if let Some(p) = self.port {
-            s.push(':');
-            s.push_str(&p.to_string());
+            let _ = write!(s, ":{p}");
         }
         s.push_str(&self.path);
         if let Some(q) = &self.query {
             s.push('?');
             s.push_str(q);
         }
-        s
     }
 
     /// Host + path + query — the portion filter rules match against when the

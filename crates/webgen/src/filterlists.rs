@@ -24,6 +24,8 @@
 use crate::adtech::{AdTechCompany, AdTechKind};
 use crate::publisher::Publisher;
 use abp_filter::FilterList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The four generated lists, as text and parsed.
 #[derive(Debug, Clone)]
@@ -195,6 +197,195 @@ fn acceptable(
     let tech = &publishers[self_platform_publisher];
     out.push_str(&format!("@@||{}/sponsor/\n", tech.domain));
     out
+}
+
+/// Configuration for [`easylist_scale`], the EasyList-sized synthetic list.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    /// Number of network rules to emit (real EasyList carries tens of
+    /// thousands; the bench default is 40 000).
+    pub rules: usize,
+    /// RNG seed; the same seed reproduces the same list and URL pool.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> ScaleConfig {
+        ScaleConfig {
+            rules: 40_000,
+            seed: 0xEA5E,
+        }
+    }
+}
+
+/// An EasyList-scale generated list plus the pools needed to synthesize a
+/// realistic request mix against it.
+#[derive(Debug, Clone)]
+pub struct ScaleList {
+    /// The list text, in EasyList syntax.
+    pub text: String,
+    /// Ad-serving domains the list blocks (for generating hit URLs).
+    pub blocked_domains: Vec<String>,
+    /// Path fragments the list blocks (for generating hit URLs).
+    pub blocked_paths: Vec<String>,
+}
+
+const AD_WORDS: &[&str] = &[
+    "ads",
+    "adserv",
+    "banner",
+    "track",
+    "click",
+    "pixel",
+    "sponsor",
+    "promo",
+    "pop",
+    "affiliate",
+    "metrics",
+    "beacon",
+    "count",
+    "syndic",
+    "widget",
+    "media",
+    "serve",
+    "delivery",
+    "exchange",
+    "market",
+];
+const TLDS: &[&str] = &["com", "net", "io", "biz", "info", "co", "org"];
+const PATH_WORDS: &[&str] = &[
+    "banners",
+    "adframe",
+    "adimg",
+    "popunder",
+    "sponsorship",
+    "clicktrack",
+    "telemetry",
+    "impress",
+    "creative",
+    "slots",
+];
+const TYPE_OPTS: &[&str] = &["script", "image", "xmlhttprequest", "subdocument", "media"];
+
+/// Uniform pick from a non-empty slice (the vendored `rand` has no
+/// `SliceRandom::choose`).
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+fn scale_domain(rng: &mut StdRng, n: usize) -> String {
+    let a = pick(rng, AD_WORDS);
+    let b = pick(rng, AD_WORDS);
+    let tld = pick(rng, TLDS);
+    format!("{a}{b}{n}.{tld}")
+}
+
+/// Generate an EasyList-scale network-rule list with realistic shape
+/// distributions: mostly `||domain^` hostname rules (some with
+/// `$third-party`, type options, or `$domain=` restrictions), a tail of
+/// generic path and query rules, a few percent of `@@` exceptions, and a
+/// sprinkle of element-hiding rules. Every rule parses cleanly; the
+/// returned pools let callers synthesize a hit/miss request mix.
+pub fn easylist_scale(config: ScaleConfig) -> ScaleList {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut text = String::with_capacity(config.rules * 32);
+    text.push_str("[Adblock Plus 2.0]\n! Title: EasyList (synthetic, scale)\n! Expires: 4 days\n");
+    let mut blocked_domains = Vec::new();
+    let mut blocked_paths = Vec::new();
+    for n in 0..config.rules {
+        let shape = rng.gen_range(0..100u32);
+        if shape < 55 {
+            // Hostname-anchored domain rule.
+            let d = scale_domain(&mut rng, n);
+            text.push_str(&format!("||{d}^"));
+            let opt = rng.gen_range(0..100u32);
+            if opt < 40 {
+                text.push_str("$third-party");
+            } else if opt < 55 {
+                let t = pick(&mut rng, TYPE_OPTS);
+                text.push_str(&format!("${t}"));
+            } else if opt < 65 {
+                let on_n = rng.gen_range(0..config.rules);
+                let on = scale_domain(&mut rng, on_n);
+                if rng.gen_bool(0.2) {
+                    text.push_str(&format!("$domain=~{on}"));
+                } else {
+                    text.push_str(&format!("$domain={on}"));
+                }
+            }
+            text.push('\n');
+            blocked_domains.push(d);
+        } else if shape < 80 {
+            // Generic path rule, sometimes wildcarded.
+            let w = pick(&mut rng, PATH_WORDS);
+            let path = if rng.gen_bool(0.3) {
+                format!("/{w}{}/*/img^", n % 97)
+            } else {
+                format!("/{w}{}/", n % 997)
+            };
+            text.push_str(&path);
+            if rng.gen_bool(0.15) {
+                text.push_str("$image");
+            }
+            text.push('\n');
+            blocked_paths.push(path.trim_end_matches("*/img^").to_string());
+        } else if shape < 90 {
+            // Query-string rule.
+            let w = pick(&mut rng, AD_WORDS);
+            text.push_str(&format!("&{w}_id={}\n", n % 89));
+        } else if shape < 95 {
+            // Exception rule.
+            let d = scale_domain(&mut rng, n);
+            if rng.gen_bool(0.3) {
+                text.push_str(&format!("@@||{d}^$document\n"));
+            } else {
+                text.push_str(&format!("@@||{d}^\n"));
+            }
+        } else {
+            // Element-hiding rule (engine-relevant but not network-path).
+            let w = pick(&mut rng, AD_WORDS);
+            if rng.gen_bool(0.25) {
+                let d = scale_domain(&mut rng, n);
+                text.push_str(&format!("{d}##.{w}-box{}\n", n % 53));
+            } else {
+                text.push_str(&format!("##.{w}-unit{}\n", n % 53));
+            }
+        }
+    }
+    ScaleList {
+        text,
+        blocked_domains,
+        blocked_paths,
+    }
+}
+
+impl ScaleList {
+    /// Synthesize a request-URL mix against this list: `hit_fraction` of
+    /// URLs target blocked domains/paths, the rest are clean first-party
+    /// fetches (the common case in a real trace).
+    pub fn sample_urls(&self, n: usize, hit_fraction: f64, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if rng.gen_bool(hit_fraction) && !self.blocked_domains.is_empty() {
+                    if rng.gen_bool(0.7) {
+                        let d = pick(&mut rng, &self.blocked_domains);
+                        format!("http://{d}/serve/unit{}.js", i % 211)
+                    } else {
+                        let p = pick(&mut rng, &self.blocked_paths);
+                        format!("http://cdn{}.example{p}asset{}.gif", i % 17, i % 211)
+                    }
+                } else {
+                    format!(
+                        "http://www.site{}.example/content/page{}/image{}.jpg",
+                        i % 400,
+                        i % 37,
+                        i
+                    )
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -413,5 +604,75 @@ mod tests {
     #[test]
     fn giant_exchange_is_company_zero() {
         assert_eq!(GIANT_EXCHANGE, 0);
+    }
+
+    #[test]
+    fn scale_list_parses_cleanly_and_is_deterministic() {
+        let cfg = ScaleConfig {
+            rules: 2_000,
+            seed: 11,
+        };
+        let a = easylist_scale(cfg);
+        let b = easylist_scale(cfg);
+        assert_eq!(a.text, b.text, "same seed must reproduce the list");
+        let list = FilterList::parse("easylist-scale", &a.text);
+        assert!(
+            list.invalid.is_empty(),
+            "invalid rules: {:?}",
+            &list.invalid[..list.invalid.len().min(5)]
+        );
+        // Network rules dominate; element hiding rides along.
+        assert!(list.rule_count() > 1_800, "got {}", list.rule_count());
+        assert!(!a.blocked_domains.is_empty());
+        assert!(!a.blocked_paths.is_empty());
+    }
+
+    #[test]
+    fn scale_list_hit_urls_block() {
+        let scale = easylist_scale(ScaleConfig {
+            rules: 5_000,
+            seed: 3,
+        });
+        let mut engine = Engine::new();
+        engine.add_list(FilterList::parse("easylist-scale", &scale.text));
+        let urls = scale.sample_urls(500, 1.0, 99);
+        let page = Url::parse("http://www.pub.example/").unwrap();
+        let blocked = urls
+            .iter()
+            .filter(|u| {
+                let url = Url::parse(u).unwrap();
+                engine
+                    .classify(&Request {
+                        url: &url,
+                        source_url: Some(&page),
+                        category: ContentCategory::Script,
+                    })
+                    .would_block()
+            })
+            .count();
+        // Not every "hit" URL matches (type options, $domain= restrictions,
+        // exceptions), but the majority must.
+        assert!(blocked > 250, "only {blocked}/500 hit URLs blocked");
+    }
+
+    #[test]
+    fn scale_list_clean_urls_pass() {
+        let scale = easylist_scale(ScaleConfig {
+            rules: 5_000,
+            seed: 3,
+        });
+        let mut engine = Engine::new();
+        engine.add_list(FilterList::parse("easylist-scale", &scale.text));
+        let urls = scale.sample_urls(200, 0.0, 7);
+        let page = Url::parse("http://www.pub.example/").unwrap();
+        for u in &urls {
+            let url = Url::parse(u).unwrap();
+            let v = engine.classify(&Request {
+                url: &url,
+                source_url: Some(&page),
+                category: ContentCategory::Image,
+            });
+            assert!(!v.would_block(), "clean URL blocked: {u} by {v:?}");
+        }
     }
 }

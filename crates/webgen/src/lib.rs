@@ -43,6 +43,7 @@ pub use adtech::{AdTechCompany, AdTechKind};
 pub use alexa::TopSites;
 pub use asn::{AsId, AsInfo, AsKind, AsRegistry};
 pub use ecosystem::{Ecosystem, EcosystemConfig};
+pub use filterlists::{easylist_scale, GeneratedLists, ScaleConfig, ScaleList};
 pub use infra::{Server, ServerRegistry};
 pub use page::{ObjectKind, PageObject, PageTemplate, SizeClass};
 pub use publisher::{Publisher, SiteCategory};

@@ -1106,6 +1106,24 @@ fn metrics(world: &mut World) -> String {
         counters.row(&[label, fmt_count(*v)]);
     }
 
+    // Compiled-engine layout gauges (rules, token buckets, arena bytes),
+    // published at compile time; the table shows the active engine mode so
+    // `--engine reference` runs are distinguishable in the artifact.
+    let mut engine_tbl = TextTable::new("Filter engine", &["Stat", "Value"]);
+    engine_tbl.row(&["engine_mode".to_string(), world.engine.as_str().to_string()]);
+    if let Some(compiled) = world.classifier.compiled() {
+        let s = compiled.stats();
+        engine_tbl.row(&["abp_compiled_rules".to_string(), fmt_count(s.rules as u64)]);
+        engine_tbl.row(&[
+            "abp_compiled_buckets".to_string(),
+            fmt_count(s.buckets as u64),
+        ]);
+        engine_tbl.row(&[
+            "abp_compiled_arena_bytes".to_string(),
+            format!("{:.1} KiB", s.arena_bytes as f64 / 1024.0),
+        ]);
+    }
+
     // Process-level gauges, refreshed at render time so the table and
     // the exposition artifact agree on the same reading.
     obs::record_process(registry);
@@ -1151,11 +1169,12 @@ fn metrics(world: &mut World) -> String {
 
     format!(
         "## Metrics — per-stage observability exposition\n\
-         {}\n{}\n{}\n\
+         {}\n{}\n{}\n{}\n\
          exposition: VALID ({samples} samples) -> {dir}/metrics.prom\n\
          event log:  VALID ({events} events)   -> {dir}/events.ndjson\n",
         stages.render(),
         counters.render(),
+        engine_tbl.render(),
         process.render(),
         dir = dir.display(),
     )
