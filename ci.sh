@@ -57,6 +57,20 @@ grep -q '"status":"ok"' <<<"$healthz"
 ./target/release/experiments fetch --port "$SERVE_PORT" --path /metrics --retries 20 \
   --check-metrics >target/experiments/serve_metrics.prom
 grep -q '^obs_serve_starts_total ' target/experiments/serve_metrics.prom
+# Population plane: published once the RBN-1 replay lands; poll until
+# the real table replaces the placeholder, then require the NDJSON body
+# to parse line by line.
+saw_pop=0
+for _ in $(seq 1 300); do
+  pop="$(./target/release/experiments fetch --port "$SERVE_PORT" --path /population --retries 2 2>/dev/null || true)"
+  case "$pop" in *'# population'*) saw_pop=1; break ;; esac
+  sleep 0.1
+done
+test "$saw_pop" = 1
+./target/release/experiments fetch --port "$SERVE_PORT" --path /population/ndjson --retries 5 \
+  --check-ndjson >target/experiments/serve_population.ndjson
+grep -q '"event":"population"' target/experiments/serve_population.ndjson
+grep -q '"event":"class"' target/experiments/serve_population.ndjson
 ./target/release/experiments fetch --port "$SERVE_PORT" --path /quitz >/dev/null
 wait "$SERVE_PID"
 
@@ -129,6 +143,21 @@ echo "==> experiments verify (run-manifest replay gate)"
   --scratch "$STREAM_DIR/verify-resumed"
 echo "    full + resumed manifests verify all-PASS"
 
+echo "==> experiments population (streamed sketches vs materialized exact gate)"
+# Stream-classify RBN-1 with population sketches on, then re-run the
+# materialized exact path over the identical records: renders must be
+# byte-identical and every sketch quantile within its error bound.
+./target/release/experiments population --scale small --exact-check \
+  --out "$STREAM_DIR/population.txt" --ndjson "$STREAM_DIR/population.ndjson" \
+  --manifest "$STREAM_DIR/population.manifest.json" \
+  >/dev/null 2>"$STREAM_DIR/population.stderr"
+grep -q 'exact-check ok' "$STREAM_DIR/population.stderr"
+grep -q '^# population' "$STREAM_DIR/population.txt"
+grep -q '"event":"population"' "$STREAM_DIR/population.ndjson"
+./target/release/experiments verify --manifest "$STREAM_DIR/population.manifest.json" \
+  --scratch "$STREAM_DIR/verify-population"
+echo "    streamed render == materialized exact render; manifest verifies"
+
 echo "==> stream health plane (stall watchdog gate)"
 # Deterministic stall injection: the router sleeps 1.2 s after chunk 2
 # against a 250 ms watchdog budget. /healthz must flip to "stalled"
@@ -136,6 +165,7 @@ echo "==> stream health plane (stall watchdog gate)"
 rm -f "$STREAM_DIR/health.port"
 ./target/release/experiments stream --rbn1 --scale small --chunk-records 2048 \
   --throttle-ms 60 --watchdog-ms 250 --stall-after-chunks 2 --stall-ms 1200 \
+  --population \
   --serve-port 0 --serve-port-file "$STREAM_DIR/health.port" --serve-linger \
   >/dev/null 2>"$STREAM_DIR/health.stderr" &
 HEALTH_PID=$!
@@ -164,17 +194,24 @@ for _ in $(seq 1 300); do
   sleep 0.2
 done
 test "$saw_ok" = 1
+# The run streamed with --population: the lingering endpoint must hold
+# the final published population plane.
+pop="$(./target/release/experiments fetch --port "$HEALTH_PORT" --path /population --retries 5)"
+grep -q '# population' <<<"$pop"
+./target/release/experiments fetch --port "$HEALTH_PORT" --path /population/ndjson --retries 5 \
+  --check-ndjson >/dev/null
 ./target/release/experiments fetch --port "$HEALTH_PORT" --path /quitz >/dev/null
 wait "$HEALTH_PID"
-echo "    watchdog flagged the stall and /healthz recovered to ok"
+echo "    watchdog flagged the stall, /healthz recovered, /population live"
 
-echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead, filter_engine)"
+echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead, sketch_overhead, filter_engine)"
 rm -f BENCH_latest.json
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_io
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench pipeline
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench streaming_pipeline
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench window_overhead
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench sketch_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench filter_engine
 
 echo "==> bench_gate (regression + overhead + compiled-engine speedup/throughput floors)"

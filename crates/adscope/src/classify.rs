@@ -293,6 +293,17 @@ impl PassiveClassifier {
         };
         (AdLabel::from_classification(&c, &self.kinds), c)
     }
+
+    /// The primary rule behind a classification: the first blocking
+    /// filter in list order, else the exception that whitelisted the
+    /// request. `Some` exactly when the label is an ad — this is what
+    /// population analytics attributes a fired request to.
+    pub fn primary_rule(&self, c: &Classification) -> Option<(ListKind, std::sync::Arc<str>)> {
+        c.blocking
+            .first()
+            .or(c.exception.as_ref())
+            .map(|f| (self.kind_of(f.list), std::sync::Arc::clone(&f.filter)))
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod infer;
 pub mod intern;
 pub mod normalize;
 pub mod pipeline;
+pub mod population;
 pub mod provenance;
 pub mod refmap;
 pub mod shard;
@@ -46,6 +47,7 @@ pub mod window;
 pub use classify::{AdLabel, Attribution, EngineMode, ListKind, PassiveClassifier};
 pub use degrade::DegradationReport;
 pub use pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
+pub use population::{PopulationOptions, PopulationReport, PopulationSketches, UserTally};
 pub use provenance::{TraceOptions, Tracer, VerdictProvenance};
 pub use shard::{classify_trace_sharded, classify_trace_sharded_in};
 pub use stream::{

@@ -1,10 +1,11 @@
 //! The end-to-end classification pipeline (Figure 1 of the paper).
 
-use crate::classify::{AdLabel, PassiveClassifier};
+use crate::classify::{AdLabel, ListKind, PassiveClassifier};
 use crate::content::{infer_category_traced, ContentOptions, ContentSource};
 use crate::degrade::DegradationReport;
 use crate::extract::{extract, extract_with_report, WebObject};
 use crate::normalize::UrlNormalizer;
+use crate::population::{PopulationOptions, PopulationSketches};
 use crate::provenance::{self, RecordMeta, TraceOptions, Tracer, VerdictProvenance};
 use crate::refmap::{RefMap, RefMapOptions};
 use crate::window::WindowOptions;
@@ -27,6 +28,9 @@ pub struct PipelineOptions {
     /// Windowed time-series aggregation (on by default; see
     /// [`crate::window`]).
     pub window: WindowOptions,
+    /// Population sketch analytics (off by default; see
+    /// [`crate::population`]).
+    pub population: PopulationOptions,
 }
 
 impl Default for PipelineOptions {
@@ -37,6 +41,7 @@ impl Default for PipelineOptions {
             normalize: true,
             trace: TraceOptions::default(),
             window: WindowOptions::default(),
+            population: PopulationOptions::default(),
         }
     }
 }
@@ -69,6 +74,11 @@ pub struct ClassifiedRequest {
     pub http_handshake_ms: f64,
     /// The classification verdict.
     pub label: AdLabel,
+    /// The primary rule behind the verdict: first blocking filter in
+    /// list order, else the whitelisting exception. `Some` exactly when
+    /// `label.is_ad()`. The filter text is a shared handle into the
+    /// engine's rule table, so this costs one pointer per ad request.
+    pub rule: Option<(ListKind, std::sync::Arc<str>)>,
 }
 
 impl ClassifiedRequest {
@@ -98,6 +108,11 @@ pub struct ClassifiedTrace {
     /// `requests`, so it is byte-identical between sequential and
     /// sharded runs.
     pub windows: obs::window::WindowReport,
+    /// Mergeable population sketches over the classified requests
+    /// (`None` unless [`PipelineOptions::population`] is enabled). Like
+    /// `windows`, a pure function of `requests`, so identical between
+    /// sequential and sharded runs.
+    pub population: Option<PopulationSketches>,
 }
 
 impl ClassifiedTrace {
@@ -241,13 +256,13 @@ pub fn classify_trace_in(
         .enumerate()
         .map(|(pos, obj)| {
             let url = normalizer.normalize(&obj.url);
-            let label = if let Some(t) = &tracer {
-                let (label, c) = classifier.classify_traced_in(
-                    &url,
-                    pages[pos].as_ref(),
-                    categories[pos],
-                    &mut scratch,
-                );
+            let (label, c) = classifier.classify_traced_in(
+                &url,
+                pages[pos].as_ref(),
+                categories[pos],
+                &mut scratch,
+            );
+            if let Some(t) = &tracer {
                 if let Some(cause) = t.cause(obj.idx as u64, &c, pages[pos].is_none()) {
                     provenance.push(t.build(
                         cause,
@@ -260,10 +275,8 @@ pub fn classify_trace_in(
                         &c,
                     ));
                 }
-                label
-            } else {
-                classifier.classify_in(&url, pages[pos].as_ref(), categories[pos], &mut scratch)
-            };
+            }
+            let rule = classifier.primary_rule(&c);
             ClassifiedRequest {
                 ts: obj.ts,
                 client_ip: obj.client_ip,
@@ -277,6 +290,7 @@ pub fn classify_trace_in(
                 tcp_handshake_ms: obj.tcp_handshake_ms,
                 http_handshake_ms: obj.http_handshake_ms,
                 label,
+                rule,
             }
         })
         .collect();
@@ -313,6 +327,20 @@ pub fn classify_trace_in(
         obs::window::WindowReport::default()
     };
 
+    // Stage: population sketches over the final request vector.
+    let population = if opts.population.enabled {
+        let mut span = registry.span_with("adscope_stage", &[("stage", "population")]);
+        span.count("records_in", requests.len() as u64);
+        let mut sketches = PopulationSketches::new(opts.population);
+        for r in &requests {
+            sketches.observe(r);
+        }
+        drop(span);
+        Some(sketches)
+    } else {
+        None
+    };
+
     ClassifiedTrace {
         meta: trace.meta.clone(),
         requests,
@@ -321,6 +349,7 @@ pub fn classify_trace_in(
         degradation,
         provenance,
         windows,
+        population,
     }
 }
 

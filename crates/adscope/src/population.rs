@@ -1,0 +1,739 @@
+//! Streaming population analytics — mergeable sketches over classified
+//! requests, rendering the paper's headline population tables live.
+//!
+//! The materialized experiments compute Table 3, top ad domains, and the
+//! per-user/object distributions from the full request vector. The
+//! streaming pipeline never holds that vector, so this module keeps a
+//! bounded, order-insensitively-mergeable summary instead:
+//!
+//! * [`PopulationSketches`] — the per-worker mergeable core: top
+//!   ad-serving domains and top fired rules ([`obs::TopK`]), distinct
+//!   users/sites ([`obs::Distinct64`]), and object-size / `rtb_gap_ms`
+//!   distributions ([`obs::QuantileSketch`]). All merges are
+//!   associative, commutative, and partition-invariant (the TopK in its
+//!   exact regime — capacity is sized well above the generated domain
+//!   space, and the render flags the approximate regime explicitly).
+//! * [`UserTally`] — the exact per-⟨IP, UA⟩ counters behind Table 3 and
+//!   the ad-share distribution. Tallies are plain sums, so per-worker
+//!   partials merge losslessly by key; the sharded router keeps a user's
+//!   records on one worker, but the merge does not rely on it.
+//! * [`finish`] — the single report builder both paths share: streamed
+//!   runs call it over merged sketches + merged tallies, the
+//!   materialized path calls it via [`finish_trace`] over
+//!   `aggregate_users` output. One code path means `experiments
+//!   population --exact-check` compares byte-identical renders.
+//!
+//! Everything here is a pure function of the classified request stream
+//! (plus the household-download set), so renders are byte-identical at
+//! any thread count and chunk size — the workspace equivalence contract.
+
+use crate::infer::{self, UserClass};
+use crate::pipeline::{ClassifiedRequest, ClassifiedTrace};
+use obs::sketch::{Distinct64, QuantileSketch, TopEntry, TopK, QUANTILE_GAMMA};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Population-analytics options, carried on
+/// [`crate::pipeline::PipelineOptions`]. Off by default — the sketches
+/// are for streaming runs that opt in; existing reports stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationOptions {
+    /// Produce population sketches at all.
+    pub enabled: bool,
+    /// TopK sketch capacity (keys tracked per sketch). Size it above the
+    /// expected key cardinality to stay in the exact regime, where
+    /// merges are partition-invariant.
+    pub capacity: usize,
+    /// How many ranked rows the report renders.
+    pub top_k: usize,
+    /// The "active user" floor (requests) for Table 3 membership.
+    pub active_min_requests: u64,
+    /// The §6.2 EasyList-ratio threshold (percent) splitting low/high.
+    pub ratio_threshold_pct: f64,
+}
+
+impl Default for PopulationOptions {
+    fn default() -> Self {
+        PopulationOptions {
+            enabled: false,
+            capacity: 512,
+            top_k: 10,
+            active_min_requests: infer::ACTIVE_USER_MIN_REQUESTS,
+            ratio_threshold_pct: infer::AD_RATIO_THRESHOLD_PCT,
+        }
+    }
+}
+
+/// The quantiles every distribution row reports.
+pub const QUANTILES: [f64; 5] = [25.0, 50.0, 75.0, 90.0, 99.0];
+
+/// The mergeable sketch state one worker (or the whole materialized
+/// pipeline) accumulates.
+#[derive(Debug, Clone)]
+pub struct PopulationSketches {
+    /// Top ad-serving domains (ad requests only, keyed by URL host).
+    pub ad_domains: TopK,
+    /// Top fired rules, keyed `"<list-label>|<rule-text>"`.
+    pub rules: TopK,
+    /// Distinct ⟨IP, UA⟩ pairs.
+    pub users: Distinct64,
+    /// Distinct site hosts (page host when reconstruction succeeded,
+    /// else the request host).
+    pub sites: Distinct64,
+    /// Ad object sizes (bytes; Fig. 6).
+    pub object_bytes: QuantileSketch,
+    /// RTB back-office gap (ms, ad requests only; Fig. 7).
+    pub rtb_gap_ms: QuantileSketch,
+    /// Total requests observed.
+    pub requests: u64,
+    /// Total ad requests observed.
+    pub ad_requests: u64,
+    // Reusable key scratch — per-record upkeep must not allocate on the
+    // streaming hot path. Not part of the sketch state.
+    key_buf: Vec<u8>,
+    rule_buf: String,
+}
+
+/// Equality is over the sketch *state* only — the scratch buffers are
+/// an allocation cache, not state.
+impl PartialEq for PopulationSketches {
+    fn eq(&self, other: &PopulationSketches) -> bool {
+        self.ad_domains == other.ad_domains
+            && self.rules == other.rules
+            && self.users == other.users
+            && self.sites == other.sites
+            && self.object_bytes == other.object_bytes
+            && self.rtb_gap_ms == other.rtb_gap_ms
+            && self.requests == other.requests
+            && self.ad_requests == other.ad_requests
+    }
+}
+
+impl PopulationSketches {
+    /// Fresh sketches with the configured capacity.
+    pub fn new(opts: PopulationOptions) -> PopulationSketches {
+        PopulationSketches {
+            ad_domains: TopK::new(opts.capacity),
+            rules: TopK::new(opts.capacity),
+            users: Distinct64::new(),
+            sites: Distinct64::new(),
+            object_bytes: QuantileSketch::new(QUANTILE_GAMMA),
+            rtb_gap_ms: QuantileSketch::new(QUANTILE_GAMMA),
+            requests: 0,
+            ad_requests: 0,
+            key_buf: Vec::new(),
+            rule_buf: String::new(),
+        }
+    }
+
+    /// Fold one classified request into every sketch.
+    pub fn observe(&mut self, r: &ClassifiedRequest) {
+        self.requests += 1;
+        self.key_buf.clear();
+        self.key_buf.extend_from_slice(&r.client_ip.to_le_bytes());
+        self.key_buf.push(0);
+        self.key_buf
+            .extend_from_slice(r.user_agent.as_deref().unwrap_or("").as_bytes());
+        self.users.observe(&self.key_buf);
+        let site = r
+            .page
+            .as_ref()
+            .map(|p| p.host())
+            .unwrap_or_else(|| r.url.host());
+        self.sites.observe(site.as_bytes());
+        if let Some((kind, rule)) = &r.rule {
+            self.rule_buf.clear();
+            self.rule_buf.push_str(kind.label());
+            self.rule_buf.push('|');
+            self.rule_buf.push_str(rule);
+            self.rules.observe(&self.rule_buf, 1);
+        }
+        if r.label.is_ad() {
+            self.ad_requests += 1;
+            self.ad_domains.observe(r.url.host(), 1);
+            self.object_bytes.observe(r.bytes as f64);
+            self.rtb_gap_ms.observe(r.backend_gap_ms());
+        }
+    }
+
+    /// Merge another worker's partial (callers merge in worker-index
+    /// order for canonical bytes; in the TopK exact regime any order
+    /// gives the same state).
+    pub fn merge(&mut self, other: &PopulationSketches) {
+        self.ad_domains.merge(&other.ad_domains);
+        self.rules.merge(&other.rules);
+        self.users.merge(&other.users);
+        self.sites.merge(&other.sites);
+        self.object_bytes.merge(&other.object_bytes);
+        self.rtb_gap_ms.merge(&other.rtb_gap_ms);
+        self.requests += other.requests;
+        self.ad_requests += other.ad_requests;
+    }
+}
+
+/// Exact per-⟨IP, UA⟩ counters for Table 3 and the ad-share
+/// distribution — the additive per-user state the streaming workers
+/// checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UserTally {
+    /// Total requests.
+    pub requests: u64,
+    /// Ad requests (paper definition).
+    pub ad_requests: u64,
+    /// Default-install-blockable requests (the §6.2 ratio numerator).
+    pub easylist_blockable: u64,
+    /// UA annotated as a browser (pure function of the UA string,
+    /// computed once at first sight).
+    pub is_browser: bool,
+}
+
+impl UserTally {
+    /// A fresh tally for a user with the given UA.
+    pub fn for_agent(user_agent: &str) -> UserTally {
+        let ua = http_model::UserAgent {
+            raw: user_agent.to_string(),
+        };
+        UserTally {
+            is_browser: ua.device_class().is_browser(),
+            ..UserTally::default()
+        }
+    }
+
+    /// Fold one request of this user.
+    pub fn observe(&mut self, r: &ClassifiedRequest) {
+        self.requests += 1;
+        if r.label.is_ad() {
+            self.ad_requests += 1;
+        }
+        if r.label.easylist_only_blocks() {
+            self.easylist_blockable += 1;
+        }
+    }
+
+    /// Merge another partial tally of the same user (plain sums).
+    pub fn merge(&mut self, other: &UserTally) {
+        self.requests += other.requests;
+        self.ad_requests += other.ad_requests;
+        self.easylist_blockable += other.easylist_blockable;
+        self.is_browser |= other.is_browser;
+    }
+}
+
+/// Per-class Table 3 tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassTally {
+    /// The class.
+    pub class: UserClass,
+    /// Active browsers in this class.
+    pub instances: u64,
+    /// Their total requests.
+    pub requests: u64,
+    /// Their total ad requests.
+    pub ad_requests: u64,
+}
+
+/// The finished population report — a pure function of the merged
+/// sketches, merged tallies, and the download-household set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationReport {
+    /// The options the report was built under.
+    pub opts: PopulationOptions,
+    /// Total requests.
+    pub requests: u64,
+    /// Total ad requests.
+    pub ad_requests: u64,
+    /// Estimated distinct ⟨IP, UA⟩ pairs.
+    pub distinct_users: u64,
+    /// Estimated distinct site hosts.
+    pub distinct_sites: u64,
+    /// Active browsers (Table 3 membership).
+    pub active_browsers: u64,
+    /// Top ad-serving domains, ranked.
+    pub top_ad_domains: Vec<TopEntry>,
+    /// Top fired rules, ranked (`"<list-label>|<rule>"` keys).
+    pub top_rules: Vec<TopEntry>,
+    /// Were both TopK sketches in the exact (no-eviction) regime?
+    pub exact_topk: bool,
+    /// Per-user ad-share quantiles `(q, pct)` over active browsers.
+    pub ad_share_pct: Vec<(f64, f64)>,
+    /// Ad object size quantiles `(q, bytes)`.
+    pub object_bytes: Vec<(f64, f64)>,
+    /// RTB gap quantiles `(q, ms)`.
+    pub rtb_gap_ms: Vec<(f64, f64)>,
+    /// The quantile sketches' guaranteed relative-error bound.
+    pub quantile_alpha: f64,
+    /// Table 3 tallies in class order A–D.
+    pub classes: Vec<ClassTally>,
+}
+
+/// Build the report. The one code path both the streamed and the
+/// materialized pipelines use — tallies and sketches are mergeable
+/// state, and everything rendered is a pure function of them, so the
+/// two paths produce byte-identical renders on the same input.
+pub fn finish(
+    sketches: &PopulationSketches,
+    users: &HashMap<(u32, String), UserTally>,
+    downloads: &HashSet<u32>,
+    opts: PopulationOptions,
+) -> PopulationReport {
+    let mut ad_share = QuantileSketch::new(QUANTILE_GAMMA);
+    let mut classes: Vec<ClassTally> = UserClass::ALL
+        .iter()
+        .map(|&class| ClassTally {
+            class,
+            instances: 0,
+            requests: 0,
+            ad_requests: 0,
+        })
+        .collect();
+    let mut active_browsers = 0u64;
+    for ((ip, _ua), t) in users {
+        if !t.is_browser || t.requests < opts.active_min_requests {
+            continue;
+        }
+        active_browsers += 1;
+        ad_share.observe(t.ad_requests as f64 / t.requests as f64 * 100.0);
+        let ratio = t.easylist_blockable as f64 / t.requests as f64 * 100.0;
+        let class =
+            UserClass::from_indicators(ratio <= opts.ratio_threshold_pct, downloads.contains(ip));
+        let slot = classes
+            .iter_mut()
+            .find(|c| c.class == class)
+            .expect("all classes present");
+        slot.instances += 1;
+        slot.requests += t.requests;
+        slot.ad_requests += t.ad_requests;
+    }
+    let quantiles = |s: &QuantileSketch| -> Vec<(f64, f64)> {
+        QUANTILES
+            .iter()
+            .map(|&q| (q, s.quantile(q).unwrap_or(0.0)))
+            .collect()
+    };
+    PopulationReport {
+        opts,
+        requests: sketches.requests,
+        ad_requests: sketches.ad_requests,
+        distinct_users: sketches.users.estimate(),
+        distinct_sites: sketches.sites.estimate(),
+        active_browsers,
+        top_ad_domains: sketches.ad_domains.top(opts.top_k),
+        top_rules: sketches.rules.top(opts.top_k),
+        exact_topk: sketches.ad_domains.is_exact() && sketches.rules.is_exact(),
+        ad_share_pct: quantiles(&ad_share),
+        object_bytes: quantiles(&sketches.object_bytes),
+        rtb_gap_ms: quantiles(&sketches.rtb_gap_ms),
+        quantile_alpha: sketches.object_bytes.alpha(),
+        classes,
+    }
+}
+
+/// Build the per-user tally map from a materialized classified trace —
+/// the exact-path twin of the streaming workers' incremental tallies.
+pub fn tally_users(trace: &ClassifiedTrace) -> HashMap<(u32, String), UserTally> {
+    let mut map: HashMap<(u32, String), UserTally> = HashMap::new();
+    for r in &trace.requests {
+        let key = (
+            r.client_ip,
+            r.user_agent.as_deref().unwrap_or("").to_string(),
+        );
+        map.entry(key)
+            .or_insert_with(|| UserTally::for_agent(r.user_agent.as_deref().unwrap_or("")))
+            .observe(r);
+    }
+    map
+}
+
+/// The materialized path: sketches (reusing the pipeline's, or built on
+/// the fly), tallies from the request vector, downloads from the HTTPS
+/// flows — then the shared [`finish`].
+pub fn finish_trace(
+    trace: &ClassifiedTrace,
+    abp_ips: &[u32],
+    opts: PopulationOptions,
+) -> PopulationReport {
+    let sketches = match &trace.population {
+        Some(s) => s.clone(),
+        None => {
+            let mut s = PopulationSketches::new(opts);
+            for r in &trace.requests {
+                s.observe(r);
+            }
+            s
+        }
+    };
+    let users = tally_users(trace);
+    let downloads = infer::households_with_downloads(&trace.https_flows, abp_ips);
+    finish(&sketches, &users, &downloads, opts)
+}
+
+impl PopulationReport {
+    /// Deterministic human table (served at `/population`).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(out, "# population — streaming sketch analytics");
+        let _ = writeln!(out, "requests         {}", self.requests);
+        let _ = writeln!(
+            out,
+            "ad requests      {} ({:.2}%)",
+            self.ad_requests,
+            stats::pct(self.ad_requests, self.requests)
+        );
+        let _ = writeln!(out, "distinct users   ~{}", self.distinct_users);
+        let _ = writeln!(out, "distinct sites   ~{}", self.distinct_sites);
+        let _ = writeln!(out, "active browsers  {}", self.active_browsers);
+        let _ = writeln!(
+            out,
+            "topk regime      {} (capacity {})",
+            if self.exact_topk {
+                "exact"
+            } else {
+                "approximate"
+            },
+            self.opts.capacity
+        );
+        let _ = writeln!(
+            out,
+            "quantile alpha   {:.4} (gamma {})",
+            self.quantile_alpha, QUANTILE_GAMMA
+        );
+        let total_instances: u64 = self.classes.iter().map(|c| c.instances).sum();
+        let _ = writeln!(out, "\nclass  instances  inst%    req%     adreq%");
+        for c in &self.classes {
+            let _ = writeln!(
+                out,
+                "{:<5}  {:<9}  {:<7.2}  {:<7.2}  {:.2}",
+                c.class.label(),
+                c.instances,
+                stats::pct(c.instances, total_instances),
+                stats::pct(c.requests, self.requests),
+                stats::pct(c.ad_requests, self.ad_requests),
+            );
+        }
+        let top = |out: &mut String, title: &str, rows: &[TopEntry]| {
+            let _ = writeln!(out, "\ntop {title} ({}):", rows.len());
+            for (i, e) in rows.iter().enumerate() {
+                let _ = writeln!(out, "{:<4} {:<10} {}", i + 1, e.count, e.key);
+            }
+        };
+        top(&mut out, "ad domains", &self.top_ad_domains);
+        top(&mut out, "fired rules", &self.top_rules);
+        let dist = |out: &mut String, title: &str, rows: &[(f64, f64)]| {
+            let cells: Vec<String> = rows
+                .iter()
+                .map(|(q, v)| format!("p{:02}={v:.2}", *q as u32))
+                .collect();
+            let _ = writeln!(out, "{title:<22} {}", cells.join("  "));
+        };
+        let _ = writeln!(out, "\ndistributions:");
+        dist(&mut out, "ad share per user %", &self.ad_share_pct);
+        dist(&mut out, "ad object bytes", &self.object_bytes);
+        dist(&mut out, "rtb gap ms", &self.rtb_gap_ms);
+        out
+    }
+
+    /// Deterministic NDJSON (served at `/population/ndjson`): one
+    /// `population` summary line, one line per class, per ranked row,
+    /// and per distribution.
+    pub fn render_ndjson(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(
+            out,
+            "{{\"event\":\"population\",\"requests\":{},\"ad_requests\":{},\
+             \"distinct_users\":{},\"distinct_sites\":{},\"active_browsers\":{},\
+             \"exact_topk\":{},\"quantile_alpha\":{:.6}}}",
+            self.requests,
+            self.ad_requests,
+            self.distinct_users,
+            self.distinct_sites,
+            self.active_browsers,
+            self.exact_topk,
+            self.quantile_alpha,
+        );
+        for c in &self.classes {
+            let _ = writeln!(
+                out,
+                "{{\"event\":\"class\",\"class\":\"{}\",\"instances\":{},\"requests\":{},\
+                 \"ad_requests\":{}}}",
+                c.class.label(),
+                c.instances,
+                c.requests,
+                c.ad_requests
+            );
+        }
+        let ranked = |event: &str, rows: &[TopEntry], out: &mut String| {
+            for (i, e) in rows.iter().enumerate() {
+                let mut line = format!("{{\"event\":\"{event}\",\"rank\":{},\"key\":", i + 1);
+                netsim::json::write_str(&mut line, &e.key);
+                let _ = write!(line, ",\"count\":{},\"error\":{}}}", e.count, e.error);
+                out.push_str(&line);
+                out.push('\n');
+            }
+        };
+        ranked("ad_domain", &self.top_ad_domains, &mut out);
+        ranked("rule", &self.top_rules, &mut out);
+        let dist = |series: &str, rows: &[(f64, f64)], out: &mut String| {
+            let cells: Vec<String> = rows
+                .iter()
+                .map(|(q, v)| format!("\"p{:02}\":{v:.4}", *q as u32))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{{\"event\":\"quantiles\",\"series\":\"{series}\",{}}}",
+                cells.join(",")
+            );
+        };
+        dist("ad_share_pct", &self.ad_share_pct, &mut out);
+        dist("object_bytes", &self.object_bytes, &mut out);
+        dist("rtb_gap_ms", &self.rtb_gap_ms, &mut out);
+        out
+    }
+
+    /// Publish into a registry: the pre-rendered `/population` bodies,
+    /// `obs_sketch_*` gauges, and the Table-3-so-far class gauges the
+    /// `/statusz` plane reads.
+    pub fn publish(&self, registry: &obs::Registry) {
+        if !obs::enabled() {
+            return;
+        }
+        registry.set_population(self.render(), self.render_ndjson());
+        registry
+            .gauge("obs_sketch_requests")
+            .set(self.requests as f64);
+        registry
+            .gauge("obs_sketch_ad_requests")
+            .set(self.ad_requests as f64);
+        registry
+            .gauge("obs_sketch_distinct_users")
+            .set(self.distinct_users as f64);
+        registry
+            .gauge("obs_sketch_distinct_sites")
+            .set(self.distinct_sites as f64);
+        registry
+            .gauge("obs_sketch_active_browsers")
+            .set(self.active_browsers as f64);
+        registry
+            .gauge("obs_sketch_topk_exact")
+            .set(if self.exact_topk { 1.0 } else { 0.0 });
+        for c in &self.classes {
+            registry
+                .gauge_with("obs_population_class_users", &[("class", c.class.label())])
+                .set(c.instances as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::PassiveClassifier;
+    use crate::pipeline::{classify_trace_in, PipelineOptions};
+    use abp_filter::FilterList;
+    use http_model::headers::{RequestHeaders, ResponseHeaders};
+    use http_model::transaction::Method;
+    use http_model::{BrowserFamily, HttpTransaction, UserAgent};
+    use netsim::record::{Trace, TraceMeta, TraceRecord};
+
+    fn tx(ts: f64, client: u32, ua: &str, host: &str, uri: &str) -> TraceRecord {
+        TraceRecord::Http(HttpTransaction {
+            ts,
+            client_ip: client,
+            server_ip: 1,
+            server_port: 80,
+            method: Method::Get,
+            request: RequestHeaders {
+                host: host.into(),
+                uri: uri.into(),
+                referer: Some("http://pub.example/".into()),
+                user_agent: Some(ua.into()),
+            },
+            response: ResponseHeaders {
+                status: 200,
+                content_type: Some("image/gif".into()),
+                content_length: Some(100),
+                location: None,
+            },
+            tcp_handshake_ms: 1.0,
+            http_handshake_ms: 31.0,
+        })
+    }
+
+    fn classified(records: Vec<TraceRecord>, popts: PopulationOptions) -> ClassifiedTrace {
+        let trace = Trace {
+            meta: TraceMeta {
+                name: "pop-t".into(),
+                duration_secs: 100.0,
+                subscribers: 4,
+                start_hour: 0,
+                start_weekday: 0,
+            },
+            records,
+        };
+        let classifier = PassiveClassifier::new(vec![
+            FilterList::parse("easylist", "/banners/\n"),
+            FilterList::parse("acceptable-ads", "@@||nice.example^\n"),
+        ]);
+        classify_trace_in(
+            &trace,
+            &classifier,
+            PipelineOptions {
+                population: popts,
+                ..PipelineOptions::default()
+            },
+            &obs::Registry::new(),
+        )
+    }
+
+    fn sample(popts: PopulationOptions) -> ClassifiedTrace {
+        let ff = UserAgent::desktop(
+            BrowserFamily::Firefox,
+            http_model::useragent::Os::Windows,
+            38,
+        )
+        .raw;
+        let mut records = Vec::new();
+        // User 1: heavy ad consumer (class A shape).
+        for i in 0..6 {
+            records.push(tx(i as f64, 1, &ff, "ads.example", "/banners/a.gif"));
+        }
+        for i in 0..4 {
+            records.push(tx(6.0 + i as f64, 1, &ff, "pub.example", "/index.html"));
+        }
+        // User 2: clean browsing.
+        for i in 0..10 {
+            records.push(tx(i as f64, 2, &ff, "pub.example", "/page.html"));
+        }
+        classified(records, popts)
+    }
+
+    fn on() -> PopulationOptions {
+        PopulationOptions {
+            enabled: true,
+            active_min_requests: 5,
+            ..PopulationOptions::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_attaches_sketches_only_when_enabled() {
+        let off = sample(PopulationOptions::default());
+        assert!(off.population.is_none());
+        let on = sample(on());
+        let sk = on.population.as_ref().expect("sketches attached");
+        assert_eq!(sk.requests, 20);
+        assert_eq!(sk.ad_requests, 6);
+        assert!(sk.ad_domains.is_exact());
+    }
+
+    #[test]
+    fn finish_trace_builds_classes_and_rankings() {
+        let trace = sample(on());
+        let report = finish_trace(&trace, &[], on());
+        assert_eq!(report.requests, 20);
+        assert_eq!(report.ad_requests, 6);
+        assert_eq!(report.active_browsers, 2);
+        // No download households: user 1 is high-ratio A, user 2 low-ratio D.
+        let a = &report.classes[0];
+        assert_eq!(a.class, UserClass::A);
+        assert_eq!(a.instances, 1);
+        let d = &report.classes[3];
+        assert_eq!(d.class, UserClass::D);
+        assert_eq!(d.instances, 1);
+        assert_eq!(report.top_ad_domains[0].key, "ads.example");
+        assert_eq!(report.top_ad_domains[0].count, 6);
+        assert!(report.top_rules[0].key.starts_with("EasyList|"));
+        assert!(report.exact_topk);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_ndjson_parses() {
+        let trace = sample(on());
+        let report = finish_trace(&trace, &[], on());
+        assert_eq!(report.render(), report.render(), "pure function");
+        let nd = report.render_ndjson();
+        for line in nd.lines() {
+            netsim::json::parse(line).expect("every population line parses");
+        }
+        assert!(nd.contains("\"event\":\"population\""));
+        assert!(nd.contains("\"event\":\"class\""));
+        assert!(nd.contains("\"event\":\"ad_domain\""));
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_pass() {
+        let trace = sample(on());
+        let mut whole = PopulationSketches::new(on());
+        let mut a = PopulationSketches::new(on());
+        let mut b = PopulationSketches::new(on());
+        for (i, r) in trace.requests.iter().enumerate() {
+            whole.observe(r);
+            if i % 2 == 0 {
+                a.observe(r);
+            } else {
+                b.observe(r);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        let mut rev = b;
+        rev.merge(&a);
+        assert_eq!(rev, whole, "merge is commutative in the exact regime");
+    }
+
+    #[test]
+    fn tallies_merge_losslessly() {
+        let trace = sample(on());
+        let whole = tally_users(&trace);
+        // Split requests arbitrarily into two partials and merge.
+        let mut a: HashMap<(u32, String), UserTally> = HashMap::new();
+        let mut b: HashMap<(u32, String), UserTally> = HashMap::new();
+        for (i, r) in trace.requests.iter().enumerate() {
+            let key = (
+                r.client_ip,
+                r.user_agent.as_deref().unwrap_or("").to_string(),
+            );
+            let part = if i % 3 == 0 { &mut a } else { &mut b };
+            part.entry(key)
+                .or_insert_with(|| UserTally::for_agent(r.user_agent.as_deref().unwrap_or("")))
+                .observe(r);
+        }
+        for (k, t) in b {
+            a.entry(k).or_default().merge(&t);
+        }
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn publish_sets_population_slot_and_gauges() {
+        let trace = sample(on());
+        let report = finish_trace(&trace, &[], on());
+        let registry = obs::Registry::new();
+        report.publish(&registry);
+        assert_eq!(registry.population_text(), report.render());
+        assert_eq!(registry.population_ndjson(), report.render_ndjson());
+        let snap = registry.snapshot();
+        assert!(matches!(
+            snap.get("obs_population_class_users", &[("class", "A")]),
+            Some(obs::SampleValue::Gauge(v)) if (*v - 1.0).abs() < 1e-9
+        ));
+    }
+
+    #[test]
+    fn download_households_move_users_to_b_and_c() {
+        let trace = sample(on());
+        // Both users' households download EasyList: A -> B, D -> C.
+        let mut downloads = HashSet::new();
+        downloads.insert(1u32);
+        downloads.insert(2u32);
+        let report = finish(
+            trace.population.as_ref().unwrap(),
+            &tally_users(&trace),
+            &downloads,
+            on(),
+        );
+        assert_eq!(report.classes[1].instances, 1, "B");
+        assert_eq!(report.classes[2].instances, 1, "C");
+    }
+}

@@ -158,13 +158,13 @@ fn process_shard(
         .map(|(local, &pos)| {
             let obj = &objects[pos];
             let url = normalizer.normalize(&obj.url);
-            let label = if let Some(t) = tracer {
-                let (label, c) = classifier.classify_traced_in(
-                    &url,
-                    pages[local].as_ref(),
-                    categories[local],
-                    &mut scratch,
-                );
+            let (label, c) = classifier.classify_traced_in(
+                &url,
+                pages[local].as_ref(),
+                categories[local],
+                &mut scratch,
+            );
+            if let Some(t) = tracer {
                 if let Some(cause) = t.cause(obj.idx as u64, &c, pages[local].is_none()) {
                     prov.push((
                         pos,
@@ -180,10 +180,8 @@ fn process_shard(
                         ),
                     ));
                 }
-                label
-            } else {
-                classifier.classify_in(&url, pages[local].as_ref(), categories[local], &mut scratch)
-            };
+            }
+            let rule = classifier.primary_rule(&c);
             (
                 pos,
                 ClassifiedRequest {
@@ -199,6 +197,7 @@ fn process_shard(
                     tcp_handshake_ms: obj.tcp_handshake_ms,
                     http_handshake_ms: obj.http_handshake_ms,
                     label,
+                    rule,
                 },
             )
         })
@@ -357,6 +356,21 @@ pub fn classify_trace_sharded_in(
         obs::window::WindowReport::default()
     };
 
+    // Population sketches likewise run over the merged request vector —
+    // the same pure function as the sequential path.
+    let population = if opts.population.enabled {
+        let mut span = registry.span_with("adscope_stage", &[("stage", "population")]);
+        span.count("records_in", requests.len() as u64);
+        let mut sketches = crate::population::PopulationSketches::new(opts.population);
+        for r in &requests {
+            sketches.observe(r);
+        }
+        drop(span);
+        Some(sketches)
+    } else {
+        None
+    };
+
     ClassifiedTrace {
         meta: trace.meta.clone(),
         requests,
@@ -365,6 +379,7 @@ pub fn classify_trace_sharded_in(
         degradation,
         provenance,
         windows,
+        population,
     }
 }
 

@@ -48,6 +48,7 @@ use crate::extract::{extract_one, WebObject};
 use crate::intern::Interner;
 use crate::normalize::UrlNormalizer;
 use crate::pipeline::{ClassifiedRequest, PipelineOptions};
+use crate::population::{self, PopulationReport, PopulationSketches, UserTally};
 use crate::refmap::{RefMap, RefMapOptions};
 use crate::shard::shard_of;
 use crate::window::{WindowAggregator, COUNTERS as ADSCOPE_COUNTERS, RTB_HIST};
@@ -56,9 +57,10 @@ use netsim::codec::{record_to_json, CodecStats, DecodeWindows, FORMAT_VERSION};
 use netsim::json::{self, Value};
 use netsim::record::{TraceMeta, TraceRecord};
 use netsim::stream::{ChunkReader, StreamChunk};
+use obs::sketch::{Distinct64, QuantileSketch, TopK, QUANTILE_GAMMA};
 use obs::window::{ClosedWindow, WindowReport};
 use obs::HistogramSnapshot;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Seek, SeekFrom, Write};
@@ -182,6 +184,12 @@ pub struct StreamOptions {
     pub stall_after_chunks: Option<u64>,
     /// How long the injected stall lasts (milliseconds).
     pub stall_ms: u64,
+    /// Server addresses hosting filter-list downloads — the §6.2
+    /// download-indicator input. Only consulted when
+    /// [`crate::population::PopulationOptions::enabled`]: HTTPS flows to
+    /// these addresses on port 443 mark the client household as a
+    /// list-downloading one (Table 3 classes B/C).
+    pub abp_ips: Vec<u32>,
 }
 
 impl Default for StreamOptions {
@@ -199,6 +207,7 @@ impl Default for StreamOptions {
             poison_host: None,
             stall_after_chunks: None,
             stall_ms: 0,
+            abp_ips: Vec::new(),
         }
     }
 }
@@ -238,6 +247,13 @@ pub struct StreamReport {
     /// Classified requests tagged with global position, sorted, when
     /// collection was requested.
     pub collected: Option<Vec<(u64, ClassifiedRequest)>>,
+    /// Population analytics (`None` unless
+    /// [`crate::population::PopulationOptions::enabled`]). Built by the
+    /// same [`crate::population::finish`] as the materialized path, over
+    /// sketch/tally state merged in worker-index order, so it renders
+    /// byte-identically at any thread count, chunk size, or
+    /// kill/resume schedule.
+    pub population: Option<PopulationReport>,
 }
 
 impl StreamReport {
@@ -275,6 +291,10 @@ impl StreamReport {
         out.push_str(&self.windows.render_ndjson("adscope"));
         out.push_str("windows decode:\n");
         out.push_str(&self.decode_windows.render_ndjson("decode"));
+        if let Some(p) = &self.population {
+            out.push_str("population:\n");
+            out.push_str(&p.render());
+        }
         out
     }
 }
@@ -413,9 +433,53 @@ struct Core<'a> {
     ads: u64,
     collect: bool,
     collected: Vec<(u64, ClassifiedRequest)>,
+    /// Population sketch + exact per-user tally state (present only
+    /// when [`crate::population::PopulationOptions::enabled`]).
+    population: Option<PopulationState>,
     /// Reusable classify scratch: the match path allocates nothing per
     /// record under the compiled engine.
     scratch: abp_filter::ClassifyScratch,
+}
+
+/// A worker's population-analytics accumulator: the mergeable sketches
+/// plus the exact per-⟨IP, UA⟩ tallies behind Table 3. Tally keys use
+/// the interned UA handle so per-record upkeep is a refcount bump, not a
+/// string allocation; absent UAs share one empty handle to keep the
+/// `aggregate_users` merge semantics (None and "" are the same user).
+struct PopulationState {
+    sketches: PopulationSketches,
+    tallies: HashMap<(u32, std::sync::Arc<str>), UserTally>,
+    empty_ua: std::sync::Arc<str>,
+}
+
+impl PopulationState {
+    fn new(opts: crate::population::PopulationOptions) -> PopulationState {
+        PopulationState {
+            sketches: PopulationSketches::new(opts),
+            tallies: HashMap::new(),
+            empty_ua: std::sync::Arc::from(""),
+        }
+    }
+
+    fn observe(&mut self, req: &ClassifiedRequest) {
+        self.sketches.observe(req);
+        let ua = match &req.user_agent {
+            Some(ua) => std::sync::Arc::clone(ua),
+            None => std::sync::Arc::clone(&self.empty_ua),
+        };
+        self.tallies
+            .entry((req.client_ip, ua))
+            .or_insert_with(|| UserTally::for_agent(req.user_agent.as_deref().unwrap_or("")))
+            .observe(req);
+    }
+
+    /// Take the delta since the last cut, leaving fresh state behind.
+    fn cut(&mut self, opts: crate::population::PopulationOptions) -> PopulationDelta {
+        PopulationDelta {
+            sketches: std::mem::replace(&mut self.sketches, PopulationSketches::new(opts)),
+            tallies: self.tallies.drain().collect(),
+        }
+    }
 }
 
 impl Core<'_> {
@@ -426,9 +490,13 @@ impl Core<'_> {
             self.content_type_fallbacks += 1;
         }
         let url = self.normalizer.normalize(&h.obj.url);
-        let label =
-            self.classifier
-                .classify_in(&url, h.page.as_ref(), h.category, &mut self.scratch);
+        let (label, c) = self.classifier.classify_traced_in(
+            &url,
+            h.page.as_ref(),
+            h.category,
+            &mut self.scratch,
+        );
+        let rule = self.classifier.primary_rule(&c);
         let req = ClassifiedRequest {
             ts: h.obj.ts,
             client_ip: h.obj.client_ip,
@@ -442,12 +510,16 @@ impl Core<'_> {
             tcp_handshake_ms: h.obj.tcp_handshake_ms,
             http_handshake_ms: h.obj.http_handshake_ms,
             label,
+            rule,
         };
         self.requests += 1;
         if req.label.is_ad() {
             self.ads += 1;
         }
         self.windows.observe(&req);
+        if let Some(pop) = &mut self.population {
+            pop.observe(&req);
+        }
         if self.collect {
             self.collected.push((h.pos, req));
         }
@@ -462,6 +534,14 @@ enum ToWorker {
     Barrier(u64),
 }
 
+/// A worker's population delta since its last cut: sketch state plus
+/// the drained per-user tallies. Deltas merge additively on the router,
+/// mirroring the window-delta protocol.
+struct PopulationDelta {
+    sketches: PopulationSketches,
+    tallies: Vec<((u32, Arc<str>), UserTally)>,
+}
+
 /// Barrier ack: window delta since the last cut, counter totals since
 /// worker start, and the serialized per-user state lines.
 struct WorkerAck {
@@ -472,6 +552,7 @@ struct WorkerAck {
     requests: u64,
     ads: u64,
     state_lines: Vec<String>,
+    population: Option<PopulationDelta>,
 }
 
 /// End-of-stream result: residual window delta, counter totals, and the
@@ -486,6 +567,7 @@ struct WorkerFinal {
     users: u64,
     broken_redirect_chains: u64,
     collected: Vec<(u64, ClassifiedRequest)>,
+    population: Option<PopulationDelta>,
 }
 
 struct Worker<'a> {
@@ -527,6 +609,10 @@ impl<'a> Worker<'a> {
                 ads: 0,
                 collect,
                 collected: Vec::new(),
+                population: opts
+                    .population
+                    .enabled
+                    .then(|| PopulationState::new(opts.population)),
                 scratch: abp_filter::ClassifyScratch::new(),
             },
             quarantine,
@@ -611,6 +697,7 @@ impl<'a> Worker<'a> {
         for (key, st) in &self.users {
             state_lines.push(serialize_user(key, st));
         }
+        let popts = self.core.opts.population;
         WorkerAck {
             windows: self.core.windows.cut(),
             refmap_misses: self.core.refmap_misses,
@@ -619,6 +706,7 @@ impl<'a> Worker<'a> {
             requests: self.core.requests,
             ads: self.core.ads,
             state_lines,
+            population: self.core.population.as_mut().map(|p| p.cut(popts)),
         }
     }
 
@@ -639,6 +727,7 @@ impl<'a> Worker<'a> {
         for st in self.users.values() {
             broken += (st.map.redirects_inserted() - st.map.redirects_consumed()) as u64;
         }
+        let popts = self.core.opts.population;
         WorkerFinal {
             windows: self.core.windows.cut(),
             refmap_misses: self.core.refmap_misses,
@@ -649,6 +738,7 @@ impl<'a> Worker<'a> {
             users: self.users.len() as u64,
             broken_redirect_chains: broken,
             collected: self.core.collected,
+            population: self.core.population.as_mut().map(|p| p.cut(popts)),
         }
     }
 }
@@ -698,8 +788,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// deliberately excluded: restored users re-route by `shard_of`.
 fn config_hash(opts: &StreamOptions) -> u64 {
     let s = format!(
-        "{:?}|{}|{}",
-        opts.pipeline, opts.chunk_records, FORMAT_VERSION
+        "{:?}|{}|{}|{:?}",
+        opts.pipeline, opts.chunk_records, FORMAT_VERSION, opts.abp_ips
     );
     fnv1a(s.as_bytes())
 }
@@ -1073,12 +1163,226 @@ struct Progress {
     quarantine_bytes: u64,
 }
 
+/// Router-side cumulative population state: worker deltas merged at
+/// each barrier (acks arrive indexed, so the merge runs in worker-index
+/// order — the canonical order the determinism contract names), plus
+/// the download households the router collects from HTTPS flows.
+/// Checkpointed whole in the manifest and restored verbatim on resume.
+struct PopulationCum {
+    sketches: PopulationSketches,
+    tallies: HashMap<(u32, String), UserTally>,
+    households: HashSet<u32>,
+}
+
+impl PopulationCum {
+    fn new(opts: crate::population::PopulationOptions) -> PopulationCum {
+        PopulationCum {
+            sketches: PopulationSketches::new(opts),
+            tallies: HashMap::new(),
+            households: HashSet::new(),
+        }
+    }
+
+    fn merge_delta(&mut self, d: &PopulationDelta) {
+        self.sketches.merge(&d.sketches);
+        for ((ip, ua), t) in &d.tallies {
+            self.tallies
+                .entry((*ip, ua.to_string()))
+                .or_default()
+                .merge(t);
+        }
+    }
+
+    fn finish(&self, opts: crate::population::PopulationOptions) -> PopulationReport {
+        population::finish(&self.sketches, &self.tallies, &self.households, opts)
+    }
+}
+
+fn population_to_json(out: &mut String, p: &PopulationCum) {
+    let s = &p.sketches;
+    let _ = write!(
+        out,
+        ",\"population\":{{\"requests\":{},\"ad_requests\":{}",
+        s.requests, s.ad_requests
+    );
+    let topk = |out: &mut String, name: &str, t: &TopK| {
+        let _ = write!(
+            out,
+            ",\"{name}\":{{\"capacity\":{},\"entries\":[",
+            t.capacity()
+        );
+        for (i, (k, c, e)) in t.state_lines().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            json::write_str(out, k);
+            let _ = write!(out, ",{c},{e}]");
+        }
+        out.push_str("]}");
+    };
+    topk(out, "ad_domains", &s.ad_domains);
+    topk(out, "rules", &s.rules);
+    let regs = |out: &mut String, name: &str, d: &Distinct64| {
+        let _ = write!(out, ",\"{name}\":[");
+        for (i, r) in d.state().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{r}");
+        }
+        out.push(']');
+    };
+    regs(out, "users", &s.users);
+    regs(out, "sites", &s.sites);
+    let qs = |out: &mut String, name: &str, q: &QuantileSketch| {
+        let (zero, buckets) = q.state();
+        let _ = write!(out, ",\"{name}\":{{\"zero\":{zero},\"buckets\":[");
+        for (i, (b, c)) in buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{b},{c}]");
+        }
+        out.push_str("]}");
+    };
+    qs(out, "object_bytes", &s.object_bytes);
+    qs(out, "rtb_gap_ms", &s.rtb_gap_ms);
+    let mut rows: Vec<(&(u32, String), &UserTally)> = p.tallies.iter().collect();
+    rows.sort_by(|a, b| a.0.cmp(b.0));
+    out.push_str(",\"tallies\":[");
+    for (i, ((ip, ua), t)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{ip},");
+        json::write_str(out, ua);
+        let _ = write!(
+            out,
+            ",{},{},{},{}]",
+            t.requests,
+            t.ad_requests,
+            t.easylist_blockable,
+            u8::from(t.is_browser)
+        );
+    }
+    out.push_str("],\"households\":[");
+    let mut hh: Vec<u32> = p.households.iter().copied().collect();
+    hh.sort_unstable();
+    for (i, ip) in hh.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{ip}");
+    }
+    out.push_str("]}");
+}
+
+fn population_from_value(
+    v: &Value<'_>,
+    opts: crate::population::PopulationOptions,
+) -> Result<PopulationCum, StreamError> {
+    let _ = opts;
+    let topk = |k: &str| -> Result<TopK, StreamError> {
+        let tv = field(v, k)?;
+        let capacity = field_usize(tv, "capacity")?;
+        let mut lines = Vec::new();
+        for e in field_array(tv, "entries")? {
+            let Value::Array(a) = e else {
+                return Err(ck_err("topk entry is not an array"));
+            };
+            if a.len() != 3 {
+                return Err(ck_err("topk entry arity"));
+            }
+            lines.push((
+                a[0].as_str().ok_or_else(|| ck_err("topk key"))?.to_string(),
+                a[1].as_u64().ok_or_else(|| ck_err("topk count"))?,
+                a[2].as_u64().ok_or_else(|| ck_err("topk error"))?,
+            ));
+        }
+        Ok(TopK::from_state(capacity, lines))
+    };
+    let regs = |k: &str| -> Result<Distinct64, StreamError> {
+        let a = field_array(v, k)?;
+        if a.len() != 64 {
+            return Err(ck_err("distinct register arity"));
+        }
+        let mut r = [0u8; 64];
+        for (i, e) in a.iter().enumerate() {
+            r[i] = e.as_u64().ok_or_else(|| ck_err("distinct register"))? as u8;
+        }
+        Ok(Distinct64::from_state(r))
+    };
+    let qs = |k: &str| -> Result<QuantileSketch, StreamError> {
+        let qv = field(v, k)?;
+        let zero = field_u64(qv, "zero")?;
+        let mut buckets = Vec::new();
+        for e in field_array(qv, "buckets")? {
+            let Value::Array(a) = e else {
+                return Err(ck_err("quantile bucket is not an array"));
+            };
+            if a.len() != 2 {
+                return Err(ck_err("quantile bucket arity"));
+            }
+            let idx = match &a[0] {
+                Value::Int(i) => *i as i32,
+                _ => return Err(ck_err("quantile bucket index")),
+            };
+            buckets.push((
+                idx,
+                a[1].as_u64()
+                    .ok_or_else(|| ck_err("quantile bucket count"))?,
+            ));
+        }
+        Ok(QuantileSketch::from_state(QUANTILE_GAMMA, zero, buckets))
+    };
+    let mut sketches = PopulationSketches::new(opts);
+    sketches.ad_domains = topk("ad_domains")?;
+    sketches.rules = topk("rules")?;
+    sketches.users = regs("users")?;
+    sketches.sites = regs("sites")?;
+    sketches.object_bytes = qs("object_bytes")?;
+    sketches.rtb_gap_ms = qs("rtb_gap_ms")?;
+    sketches.requests = field_u64(v, "requests")?;
+    sketches.ad_requests = field_u64(v, "ad_requests")?;
+    let mut tallies = HashMap::new();
+    for e in field_array(v, "tallies")? {
+        let Value::Array(a) = e else {
+            return Err(ck_err("tally row is not an array"));
+        };
+        if a.len() != 6 {
+            return Err(ck_err("tally row arity"));
+        }
+        let ip = a[0].as_u32().ok_or_else(|| ck_err("tally ip"))?;
+        let ua = a[1].as_str().ok_or_else(|| ck_err("tally ua"))?.to_string();
+        tallies.insert(
+            (ip, ua),
+            UserTally {
+                requests: a[2].as_u64().ok_or_else(|| ck_err("tally requests"))?,
+                ad_requests: a[3].as_u64().ok_or_else(|| ck_err("tally ads"))?,
+                easylist_blockable: a[4].as_u64().ok_or_else(|| ck_err("tally blockable"))?,
+                is_browser: a[5].as_u64().ok_or_else(|| ck_err("tally browser"))? != 0,
+            },
+        );
+    }
+    let mut households = HashSet::new();
+    for e in field_array(v, "households")? {
+        households.insert(e.as_u32().ok_or_else(|| ck_err("household ip"))?);
+    }
+    Ok(PopulationCum {
+        sketches,
+        tallies,
+        households,
+    })
+}
+
 fn manifest_to_json(
     hash: u64,
     meta: &TraceMeta,
     p: &Progress,
     windows: &WindowReport,
     decode_windows: &WindowReport,
+    population: Option<&PopulationCum>,
 ) -> String {
     let mut out = String::with_capacity(1024);
     let _ = write!(
@@ -1129,6 +1433,9 @@ fn manifest_to_json(
     window_report_to_json(&mut out, windows);
     out.push_str(",\"decode_windows\":");
     window_report_to_json(&mut out, decode_windows);
+    if let Some(p) = population {
+        population_to_json(&mut out, p);
+    }
     out.push('}');
     out
 }
@@ -1140,6 +1447,7 @@ struct ResumeState {
     windows: WindowReport,
     decode_windows: WindowReport,
     users: Vec<RestoredUser>,
+    population: Option<PopulationCum>,
 }
 
 fn load_checkpoint(dir: &Path, opts: &StreamOptions) -> Result<ResumeState, StreamError> {
@@ -1218,6 +1526,10 @@ fn load_checkpoint(dir: &Path, opts: &StreamOptions) -> Result<ResumeState, Stre
     let windows = window_report_from_value(field(&m, "windows")?, ADSCOPE_COUNTERS, HIST_TABLE)?;
     let decode_windows =
         window_report_from_value(field(&m, "decode_windows")?, DECODE_COUNTERS, &[])?;
+    let population = match m.get("population") {
+        Some(pv) => Some(population_from_value(pv, opts.pipeline.population)?),
+        None => None,
+    };
     let mut users = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -1231,6 +1543,7 @@ fn load_checkpoint(dir: &Path, opts: &StreamOptions) -> Result<ResumeState, Stre
         windows,
         decode_windows,
         users,
+        population,
     })
 }
 
@@ -1368,28 +1681,44 @@ where
 
     // Split the resume state into router progress, merged-window bases,
     // worker counter bases, and the per-worker user state.
-    let (mut progress, mut windows_cum, mut decode_cum, restored_users) = match resume {
-        Some(r) => (r.progress, r.windows, r.decode_windows, r.users),
-        None => (
-            Progress {
-                offset: 0,
-                chunks: 0,
-                seq: 0,
-                next_pos: 0,
-                next_http_idx: 0,
-                prev_ts: f64::NEG_INFINITY,
-                codec: CodecStats::default(),
-                degradation: DegradationReport::default(),
-                requests: 0,
-                ads: 0,
-                https_flows: 0,
-                quarantine_bytes: 0,
-            },
-            WindowReport::default(),
-            WindowReport::default(),
-            Vec::new(),
-        ),
+    let (mut progress, mut windows_cum, mut decode_cum, restored_users, resumed_population) =
+        match resume {
+            Some(r) => (
+                r.progress,
+                r.windows,
+                r.decode_windows,
+                r.users,
+                r.population,
+            ),
+            None => (
+                Progress {
+                    offset: 0,
+                    chunks: 0,
+                    seq: 0,
+                    next_pos: 0,
+                    next_http_idx: 0,
+                    prev_ts: f64::NEG_INFINITY,
+                    codec: CodecStats::default(),
+                    degradation: DegradationReport::default(),
+                    requests: 0,
+                    ads: 0,
+                    https_flows: 0,
+                    quarantine_bytes: 0,
+                },
+                WindowReport::default(),
+                WindowReport::default(),
+                Vec::new(),
+                None,
+            ),
+        };
+    // Cumulative population state lives on the router (workers send
+    // deltas); a resumed run picks up the checkpointed state verbatim.
+    let mut population_cum = if popts.population.enabled {
+        Some(resumed_population.unwrap_or_else(|| PopulationCum::new(popts.population)))
+    } else {
+        None
     };
+    let abp_set: HashSet<u32> = opts.abp_ips.iter().copied().collect();
     // Worker counters restart at zero each run; the manifest values
     // become the base the totals add onto.
     let base_refmap = progress.degradation.refmap_misses;
@@ -1495,7 +1824,14 @@ where
                             }
                         }
                     }
-                    TraceRecord::Https(_) => progress.https_flows += 1,
+                    TraceRecord::Https(conn) => {
+                        progress.https_flows += 1;
+                        if let Some(cum) = &mut population_cum {
+                            if conn.server_port == 443 && abp_set.contains(&conn.server_ip) {
+                                cum.households.insert(conn.client_ip);
+                            }
+                        }
+                    }
                 }
             }
             let mut send_failed = false;
@@ -1552,6 +1888,19 @@ where
                             for a in &acks {
                                 windows_cum.merge(&a.windows);
                             }
+                            if let Some(cum) = &mut population_cum {
+                                for a in &acks {
+                                    if let Some(d) = &a.population {
+                                        cum.merge_delta(d);
+                                    }
+                                }
+                                // The live annoyance plane: every
+                                // barrier republishes the
+                                // population-so-far, so /population and
+                                // the class gauges move while the run
+                                // is going.
+                                cum.finish(popts.population).publish(registry);
+                            }
                             progress.degradation.refmap_misses = base_refmap
                                 + acks.iter().map(|a| a.refmap_misses as usize).sum::<usize>();
                             progress.degradation.content_type_fallbacks = base_ctf
@@ -1574,8 +1923,14 @@ where
                                 },
                                 None => 0,
                             };
-                            let manifest =
-                                manifest_to_json(hash, &meta, &progress, &windows_cum, &decode_cum);
+                            let manifest = manifest_to_json(
+                                hash,
+                                &meta,
+                                &progress,
+                                &windows_cum,
+                                &decode_cum,
+                                population_cum.as_ref(),
+                            );
                             if let Err(e) = write_checkpoint(&ck.dir, &manifest, &acks) {
                                 loop_result = Err(e.into());
                                 break;
@@ -1668,6 +2023,21 @@ where
         crate::window::publish(&windows_cum, registry);
         publish_decode_windows(&decode_cum, registry);
 
+        // Final population report: residual worker deltas merged in
+        // worker-index order, then the shared `finish` over the
+        // cumulative state — the same function the materialized path
+        // calls, on identical merged inputs.
+        let population = population_cum.map(|mut cum| {
+            for f in &finals {
+                if let Some(d) = &f.population {
+                    cum.merge_delta(d);
+                }
+            }
+            let report = cum.finish(popts.population);
+            report.publish(registry);
+            report
+        });
+
         let collected = if opts.collect_requests {
             let mut v: Vec<(u64, ClassifiedRequest)> =
                 finals.into_iter().flat_map(|f| f.collected).collect();
@@ -1692,6 +2062,7 @@ where
             resumed_from,
             stopped_early,
             collected,
+            population,
         })
     })
 }

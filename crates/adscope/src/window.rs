@@ -235,6 +235,7 @@ mod tests {
             tcp_handshake_ms: 1.0,
             http_handshake_ms: if ad { 31.0 } else { 2.0 },
             label,
+            rule: None,
         }
     }
 

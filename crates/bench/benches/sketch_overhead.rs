@@ -1,0 +1,59 @@
+//! Population-sketch overhead on the streaming pipeline.
+//!
+//! The acceptance budget: keeping the mergeable population sketches
+//! (top-K domains/rules, distinct users/sites, quantile sketches, and
+//! per-user tallies) must stay within 5% of the sketch-free streaming
+//! throughput. The two medians land side by side in the `BENCH_JSON`
+//! NDJSON (`sketch_overhead/stream_sketches_off` vs
+//! `stream_sketches_on`) and `bench_gate` checks the self-relative
+//! ratio against a lenient 15% CI ceiling — same noise-tolerance
+//! rationale as the trace- and window-overhead gates.
+
+use adscope::stream::{classify_stream_file, StreamOptions};
+use bench::{bench_classifier, bench_ecosystem, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sketch_overhead(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+    let classifier = bench_classifier(&eco);
+    let trace = bench_trace(&eco);
+    let n = trace.http_count() as u64;
+    let threads = parallel::available_parallelism();
+
+    // One trace file on disk, shared by every iteration: the bench
+    // measures decode + route + classify (+ sketch upkeep), not trace
+    // generation.
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "bench-sketch-overhead-{}.trace",
+        std::process::id()
+    ));
+    let file = std::fs::File::create(&path).expect("create bench trace file");
+    netsim::codec::write_trace(&trace, std::io::BufWriter::new(file)).expect("write bench trace");
+
+    let mut group = c.benchmark_group("sketch_overhead");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(n));
+    group.threads(threads);
+
+    let run = |enabled: bool| {
+        let mut opts = StreamOptions {
+            threads,
+            abp_ips: eco.abp_ips.clone(),
+            ..StreamOptions::default()
+        };
+        opts.pipeline.population.enabled = enabled;
+        classify_stream_file(&path, &classifier, &opts, &obs::Registry::new())
+            .expect("stream classify")
+    };
+
+    group.bench_function("stream_sketches_off", |b| b.iter(|| black_box(run(false))));
+    group.bench_function("stream_sketches_on", |b| b.iter(|| black_box(run(true))));
+    group.finish();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, sketch_overhead);
+criterion_main!(benches);

@@ -19,6 +19,9 @@
 //!    build while a real regression still trips it;
 //! 3. computes the windowed-metrics overhead the same way
 //!    (`window_overhead/sharded_windows_on` vs `sharded_windows_off`)
+//!    against the same 15% ceiling over the 5% design budget;
+//! 4. computes the population-sketch overhead on the streaming path
+//!    (`sketch_overhead/stream_sketches_on` vs `stream_sketches_off`)
 //!    against the same 15% ceiling over the 5% design budget.
 //!
 //! Every run appends one NDJSON line of its results to a history file
@@ -54,7 +57,7 @@ const GATES: [(&str, &str, f64); 4] = [
 
 /// Self-relative overhead gates within the latest run:
 /// (group, on-name, off-name, label, ceiling).
-const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 2] = [
+const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 3] = [
     (
         "trace_overhead",
         "sharded_ppm_10000",
@@ -67,6 +70,13 @@ const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 2] = [
         "sharded_windows_on",
         "sharded_windows_off",
         "hourly windowing",
+        1.15,
+    ),
+    (
+        "sketch_overhead",
+        "stream_sketches_on",
+        "stream_sketches_off",
+        "population sketches",
         1.15,
     ),
 ];

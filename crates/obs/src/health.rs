@@ -515,6 +515,24 @@ pub fn render_statusz(registry: &Registry) -> String {
         "last beat: {:.0} ms ago",
         now.saturating_sub(registry.health().last_progress_ns()) as f64 / 1e6
     );
+    if let Some(rss) = crate::process::peak_rss_bytes() {
+        let _ = writeln!(out, "peak rss:  {}", fmt_bytes(rss));
+    }
+    // Table-3-so-far: the streaming population plane publishes per-class
+    // gauges at each checkpoint barrier; show them whenever present so a
+    // live run's population health is visible in one place.
+    let class_counts: Vec<String> = ["A", "B", "C", "D"]
+        .iter()
+        .filter_map(
+            |c| match snap.get("obs_population_class_users", &[("class", c)]) {
+                Some(crate::registry::SampleValue::Gauge(g)) => Some(format!("{c}={}", *g as u64)),
+                _ => None,
+            },
+        )
+        .collect();
+    if !class_counts.is_empty() {
+        let _ = writeln!(out, "classes:   {}", class_counts.join("  "));
+    }
     if !s.workers.is_empty() {
         let _ = writeln!(out, "\nworker   records      batches   queue   beat-age-ms");
         for w in &s.workers {

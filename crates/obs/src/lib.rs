@@ -42,6 +42,7 @@ pub mod profile;
 pub mod prometheus;
 pub mod registry;
 pub mod serve;
+pub mod sketch;
 pub mod span;
 pub mod trace;
 pub mod window;
@@ -55,6 +56,7 @@ pub use profile::{NodeStats, ProfileStore};
 pub use prometheus::{escape_label, unescape_label, validate_exposition};
 pub use registry::{MetricKey, Registry, SampleValue, Snapshot};
 pub use serve::{serve, ServerHandle};
+pub use sketch::{Distinct64, QuantileSketch, TopEntry, TopK, QUANTILE_GAMMA};
 pub use span::Span;
 pub use trace::{SampleCause, Sampler, SpanId, TraceId, TraceLog};
 pub use window::{ClosedWindow, WindowConfig, WindowEngine, WindowReport};

@@ -135,6 +135,7 @@ pub struct Registry {
     windows: TraceLog,
     profile: ProfileStore,
     health: Health,
+    population: RwLock<(String, String)>,
 }
 
 impl Default for Registry {
@@ -157,6 +158,7 @@ impl Registry {
             ),
             profile: ProfileStore::default(),
             health: Health::default(),
+            population: RwLock::new((String::new(), String::new())),
         }
     }
 
@@ -333,6 +335,25 @@ impl Registry {
     /// Render the closed-window log as NDJSON.
     pub fn windows_ndjson(&self) -> String {
         self.windows.render_ndjson()
+    }
+
+    /// Install the pre-rendered population report (human table +
+    /// NDJSON), served at `/population` and `/population/ndjson`. The
+    /// producer renders; the registry only stores bytes, so `obs` stays
+    /// independent of the analytics layer.
+    pub fn set_population(&self, text: String, ndjson: String) {
+        let mut slot = self.population.write().expect("population lock");
+        *slot = (text, ndjson);
+    }
+
+    /// The current population table (empty until a producer publishes).
+    pub fn population_text(&self) -> String {
+        self.population.read().expect("population lock").0.clone()
+    }
+
+    /// The current population NDJSON (empty until a producer publishes).
+    pub fn population_ndjson(&self) -> String {
+        self.population.read().expect("population lock").1.clone()
     }
 }
 

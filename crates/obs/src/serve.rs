@@ -160,7 +160,9 @@ fn handle(
     // "other" so request paths can't explode metric cardinality.
     let label = match path.as_str() {
         "/" | "/metrics" | "/healthz" | "/statusz" | "/statusz/ndjson" | "/windows"
-        | "/profile" | "/profile/table" | "/quitz" => path.as_str(),
+        | "/population" | "/population/ndjson" | "/profile" | "/profile/table" | "/quitz" => {
+            path.as_str()
+        }
         _ => "other",
     };
     registry
@@ -190,6 +192,8 @@ fn route(
              /statusz        run health plane (human table)\n\
              /statusz/ndjson run health plane (NDJSON)\n\
              /windows        closed time windows (NDJSON)\n\
+             /population     population analytics (human table)\n\
+             /population/ndjson population analytics (NDJSON)\n\
              /profile        collapsed-stack profile (folded)\n\
              /profile/table  self/total time table\n\
              /quitz          request clean shutdown\n"
@@ -236,6 +240,19 @@ fn route(
             crate::health::render_statusz_ndjson(registry),
         ),
         "/windows" => ("200 OK", "application/x-ndjson", registry.windows_ndjson()),
+        "/population" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            match registry.population_text() {
+                t if t.is_empty() => "population: no report published yet\n".to_string(),
+                t => t,
+            },
+        ),
+        "/population/ndjson" => (
+            "200 OK",
+            "application/x-ndjson",
+            registry.population_ndjson(),
+        ),
         "/profile" => (
             "200 OK",
             "text/plain; charset=utf-8",

@@ -8,6 +8,8 @@
 //! experiments fetch --port N --path <p> [--retries N] [--check-metrics]
 //! experiments stream --trace PATH | --rbn1 | --rbn2 [--write-trace PATH]
 //!                    [--checkpoint-dir D] [--resume] [--quarantine PATH] [...]
+//! experiments population [--scale ...] [--seed N] [--chunk-records N]
+//!                    [--out PATH] [--ndjson PATH] [--exact-check]
 //!
 //! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
 //!      fig6 sec73 sec81 table5 fig7 sensitivity validation robustness all
@@ -24,6 +26,7 @@
 mod experiments;
 mod explain;
 mod manifest;
+mod population;
 mod serve;
 mod stream;
 mod temporal;
@@ -48,6 +51,7 @@ fn main() {
         Some("serve") => serve::run_serve(&args[1..]),
         Some("fetch") => serve::run_fetch(&args[1..]),
         Some("stream") => stream::run(&args[1..]),
+        Some("population") => population::run(&args[1..]),
         Some("verify") => verify::run(&args[1..]),
         _ => {}
     }
@@ -203,6 +207,8 @@ fn usage(err: &str) -> ! {
          \x20          [--report PATH] [--windows PATH] [--manifest PATH] [--chunk-records N]\n\
          \x20          [--stop-after-chunks N] [--throttle-ms N] [--serve-port N]\n\
          \x20          [--serve-port-file PATH] [--serve-linger] [--watchdog-ms N]\n\
+         \x20      experiments population [--scale ...] [--seed N] [--chunk-records N]\n\
+         \x20          [--out PATH] [--ndjson PATH] [--manifest PATH] [--exact-check]\n\
          \x20      experiments verify --manifest <path> [--scratch DIR] [--skip-replay]\n\
          ids: {} all",
         experiments::ALL_IDS.join(" ")

@@ -1,0 +1,366 @@
+//! `experiments population` — streaming population analytics over an
+//! RBN-1-scale run.
+//!
+//! ```text
+//! experiments population [--scale small|medium|large] [--seed N] [--threads N]
+//!                        [--chunk-records N] [--out PATH] [--ndjson PATH]
+//!                        [--manifest PATH] [--exact-check]
+//! ```
+//!
+//! Generates the RBN-1 trace, stream-classifies it with population
+//! sketches enabled (the trace is chunked through the same scatter-merge
+//! dataflow `experiments stream` uses), and renders the paper-style
+//! population tables — Table 3 class tallies, top ad-serving domains,
+//! top fired rules, and the per-user/object distributions — exactly as
+//! `/population` serves them live.
+//!
+//! `--exact-check` is the determinism-and-accuracy gate: it re-runs the
+//! *materialized* pipeline over the identical records, builds the same
+//! report through [`adscope::population::finish_trace`], and requires
+//!
+//! * the streamed render to be **byte-identical** to the materialized
+//!   one (top-K rankings, class counts, every line), and
+//! * every sketch quantile to sit within the sketch's documented
+//!   relative-error bound of the exact `stats::percentile` over the
+//!   materialized values.
+//!
+//! Artifacts (`population.txt`, `population.ndjson`) are stamped into a
+//! run manifest in unordered-lines digest mode with a replay argv, so
+//! `experiments verify --manifest` covers them like every other run.
+
+use crate::world::Scale;
+use adscope::population::{finish_trace, PopulationReport};
+use adscope::stream::classify_stream_chunks;
+use adscope::{PassiveClassifier, PipelineOptions, StreamOptions};
+use annoyed_users::prelude::*;
+use browsersim::drive::drive_stream;
+use netsim::codec::CodecStats;
+use netsim::record::{Trace, TraceMeta};
+use netsim::stream::StreamChunk;
+use std::path::PathBuf;
+
+/// Entry point for the `population` subcommand. Exits the process.
+pub fn run(args: &[String]) -> ! {
+    let mut scale = Scale::Small;
+    let mut seed: u64 = 0x5eed;
+    let mut out_path: Option<PathBuf> = None;
+    let mut ndjson_path: Option<PathBuf> = None;
+    let mut manifest_path: Option<PathBuf> = None;
+    let mut exact_check = false;
+    let mut opts = StreamOptions::default();
+    opts.pipeline.population.enabled = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| fail("bad --scale value"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| fail("bad --seed value"));
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("bad --threads value"));
+            }
+            "--chunk-records" => {
+                i += 1;
+                opts.chunk_records = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail("bad --chunk-records value"));
+            }
+            "--out" => {
+                i += 1;
+                let p = args.get(i).unwrap_or_else(|| fail("missing --out path"));
+                out_path = Some(PathBuf::from(p));
+            }
+            "--ndjson" => {
+                i += 1;
+                let p = args.get(i).unwrap_or_else(|| fail("missing --ndjson path"));
+                ndjson_path = Some(PathBuf::from(p));
+            }
+            "--manifest" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("missing --manifest path"));
+                manifest_path = Some(PathBuf::from(p));
+            }
+            "--exact-check" => exact_check = true,
+            other => fail(&format!("unknown population argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    // Same ecosystem derivation as `experiments stream`: scale + seed
+    // reproduce the filter lists, the ABP download hosts, and the trace.
+    let (publishers, ad_companies, trackers, .., rbn1_households, rbn1_days) = scale.knobs();
+    let eco = Ecosystem::generate(EcosystemConfig {
+        publishers,
+        ad_companies,
+        trackers,
+        seed,
+        ..Default::default()
+    });
+    let classifier = PassiveClassifier::new(vec![
+        eco.lists.easylist(),
+        eco.lists.regional(),
+        eco.lists.easyprivacy(),
+        eco.lists.acceptable(),
+    ]);
+    opts.abp_ips = eco.abp_ips.clone();
+    let registry = obs::global();
+
+    let mut m = crate::manifest::stamp("population");
+    m.config("scale", scale.as_str());
+    m.config("seed", seed);
+    m.config("chunk_records", opts.chunk_records);
+    m.config("threads", opts.threads);
+    m.filter_fnv = Some(crate::manifest::filter_fnv(&eco));
+    registry
+        .health()
+        .set_header(format!("population config_fnv={:016x}", m.config_fnv()));
+
+    // Generate RBN-1 once, materialized, so the streamed run and the
+    // exact-check both consume the identical records.
+    let config = DriveConfig::rbn1(rbn1_days);
+    let mut pop = Population::generate(
+        &eco,
+        &PopulationConfig {
+            households: rbn1_households,
+            seed: 0xB51,
+            ..Default::default()
+        },
+    );
+    eprintln!(
+        "[population] generating {} ({} households)",
+        config.name, rbn1_households
+    );
+    let meta = TraceMeta {
+        name: config.name.clone(),
+        duration_secs: config.duration_secs,
+        subscribers: rbn1_households,
+        start_hour: config.start_hour,
+        start_weekday: config.start_weekday,
+    };
+    let mut records = Vec::new();
+    drive_stream(
+        &eco,
+        &mut pop,
+        &ActivityProfile::default(),
+        &config,
+        |batch| records.extend(batch),
+    );
+    eprintln!("[population] {} records generated", records.len());
+    let trace = Trace {
+        meta: meta.clone(),
+        records,
+    };
+
+    // Streamed run: the trace chunked through the scatter-merge dataflow
+    // (the same router + shard workers as `experiments stream`).
+    let chunk_records = opts.chunk_records;
+    let chunks = trace
+        .records
+        .chunks(chunk_records)
+        .enumerate()
+        .map(|(seq, records)| StreamChunk {
+            seq: seq as u64,
+            stats: CodecStats {
+                records_read: records.len(),
+                ..CodecStats::default()
+            },
+            end_offset: 0,
+            records: records.to_vec(),
+        });
+    let report = classify_stream_chunks(chunks, meta, &classifier, &opts, registry)
+        .unwrap_or_else(|e| fail(&format!("stream failed: {e}")));
+    let streamed = report.population.expect("population sketches were enabled");
+    let text = streamed.render();
+    let ndjson = streamed.render_ndjson();
+    println!("{text}");
+
+    if exact_check {
+        run_exact_check(&trace, &classifier, &opts, &eco.abp_ips, &streamed, &text);
+    }
+
+    // Artifacts + manifest (lines digest mode; `experiments verify`
+    // replays the argv below and re-checks both).
+    let dir = crate::manifest::out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        fail(&format!("cannot create {}: {e}", dir.display()));
+    }
+    let out_path = out_path.unwrap_or_else(|| dir.join("population.txt"));
+    let ndjson_path = ndjson_path.unwrap_or_else(|| dir.join("population.ndjson"));
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        fail(&format!("cannot write {}: {e}", out_path.display()));
+    }
+    if let Err(e) = std::fs::write(&ndjson_path, &ndjson) {
+        fail(&format!("cannot write {}: {e}", ndjson_path.display()));
+    }
+    eprintln!(
+        "[population] report written to {} (+ {})",
+        out_path.display(),
+        ndjson_path.display()
+    );
+    m.replay = vec![
+        "population".to_string(),
+        "--scale".into(),
+        scale.as_str().into(),
+        "--seed".into(),
+        seed.to_string(),
+        "--chunk-records".into(),
+        chunk_records.to_string(),
+        "--out".into(),
+        out_path.display().to_string(),
+        "--ndjson".into(),
+        ndjson_path.display().to_string(),
+    ];
+    let mut stamp_artifact = |name: &str, path: &std::path::Path| {
+        if let Err(e) = m.add_artifact(name, path, obs::DigestMode::Lines) {
+            fail(&format!("cannot digest {}: {e}", path.display()));
+        }
+    };
+    stamp_artifact("population.txt", &out_path);
+    stamp_artifact("population.ndjson", &ndjson_path);
+    let manifest_out = manifest_path.unwrap_or_else(|| dir.join("population.manifest.json"));
+    crate::manifest::write(m, &manifest_out);
+
+    if let Some(bytes) = obs::peak_rss_bytes() {
+        eprintln!("[population] peak_rss_bytes={bytes}");
+    }
+    std::process::exit(0);
+}
+
+/// The `--exact-check` gate: byte-identical renders between the streamed
+/// and materialized paths, and sketch quantiles within the documented
+/// relative-error bound of exact percentiles.
+fn run_exact_check(
+    trace: &Trace,
+    classifier: &PassiveClassifier,
+    opts: &StreamOptions,
+    abp_ips: &[u32],
+    streamed: &PopulationReport,
+    streamed_text: &str,
+) {
+    let mut popts = PipelineOptions {
+        population: opts.pipeline.population,
+        ..opts.pipeline
+    };
+    // The streaming path forces an infinite window watermark; mirror it
+    // so the materialized run is configured identically (the population
+    // report itself is watermark-independent).
+    popts.window.watermark_secs = f64::INFINITY;
+    let classified = adscope::pipeline::classify_trace_in(trace, classifier, popts, registry());
+    let exact = finish_trace(&classified, abp_ips, popts.population);
+    let exact_text = exact.render();
+    if streamed_text != exact_text {
+        eprintln!("error: exact-check failed: streamed render differs from materialized render");
+        diff_first_line(streamed_text, &exact_text);
+        std::process::exit(1);
+    }
+    if !streamed.exact_topk {
+        eprintln!(
+            "error: exact-check failed: top-K sketches left the exact regime \
+             (capacity {}) — rankings are not partition-invariant",
+            streamed.opts.capacity
+        );
+        std::process::exit(1);
+    }
+
+    // Quantile accuracy against the exact order statistics. The gamma
+    // bucket bound guarantees alpha relative error on every non-zero
+    // order statistic; interpolation between two bounded statistics
+    // stays within the same bound (plus float noise).
+    let alpha = streamed.quantile_alpha + 1e-9;
+    let mut ad_share: Vec<f64> = Vec::new();
+    let tallies = adscope::population::tally_users(&classified);
+    for t in tallies.values() {
+        if t.is_browser && t.requests >= popts.population.active_min_requests {
+            ad_share.push(t.ad_requests as f64 / t.requests as f64 * 100.0);
+        }
+    }
+    let mut object_bytes: Vec<f64> = Vec::new();
+    let mut rtb: Vec<f64> = Vec::new();
+    for r in &classified.requests {
+        if r.label.is_ad() {
+            object_bytes.push(r.bytes as f64);
+            rtb.push(r.backend_gap_ms());
+        }
+    }
+    type Series<'a> = (&'a str, &'a [f64], &'a [(f64, f64)]);
+    let series: [Series; 3] = [
+        ("ad_share_pct", &ad_share, &streamed.ad_share_pct),
+        ("object_bytes", &object_bytes, &streamed.object_bytes),
+        ("rtb_gap_ms", &rtb, &streamed.rtb_gap_ms),
+    ];
+    let mut checked = 0u32;
+    for (name, values, sketched) in series {
+        for &(q, est) in sketched {
+            let truth = stats::percentile(values, q);
+            if truth.is_nan() {
+                continue;
+            }
+            // Values the sketch maps to the zero bucket (x <= 0) are
+            // estimated as exactly 0; the relative bound applies to the
+            // positive range.
+            let tolerance = alpha * truth.abs().max(f64::MIN_POSITIVE);
+            if (est - truth).abs() > tolerance && truth > 0.0 {
+                eprintln!(
+                    "error: exact-check failed: {name} p{q:.0} estimate {est} is outside \
+                     the alpha={alpha:.4} bound of exact {truth}"
+                );
+                std::process::exit(1);
+            }
+            checked += 1;
+        }
+    }
+    eprintln!(
+        "[population] exact-check ok: renders byte-identical, {checked} quantiles within \
+         alpha={:.4}",
+        streamed.quantile_alpha
+    );
+}
+
+fn registry() -> &'static obs::Registry {
+    obs::global()
+}
+
+fn diff_first_line(a: &str, b: &str) {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            eprintln!("  first differing line {}:", i + 1);
+            eprintln!("    streamed:     {la}");
+            eprintln!("    materialized: {lb}");
+            return;
+        }
+    }
+    eprintln!(
+        "  one render is a prefix of the other ({} vs {} bytes)",
+        a.len(),
+        b.len()
+    );
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: experiments population [--scale small|medium|large] [--seed N] [--threads N]\n\
+         \x20      [--chunk-records N] [--out PATH] [--ndjson PATH] [--manifest PATH]\n\
+         \x20      [--exact-check]"
+    );
+    std::process::exit(2);
+}

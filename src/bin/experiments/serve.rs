@@ -4,6 +4,7 @@
 //! experiments serve --port N [--port-file PATH] [--pace SECS]
 //!                   [--scale small|medium|large] [--seed N] [--threads N]
 //! experiments fetch --port N --path /metrics [--retries N] [--check-metrics]
+//!                   [--check-ndjson]
 //! ```
 //!
 //! `serve` binds the [`obs::serve`] endpoint on the global registry
@@ -22,7 +23,9 @@
 //! tests: it GETs one path, prints the body to stdout, and exits
 //! non-zero on connection failure (after `--retries`), a non-200
 //! status, or — with `--check-metrics` — a body that fails
-//! [`obs::validate_exposition`].
+//! [`obs::validate_exposition`]. `--check-ndjson` instead requires a
+//! non-empty body whose every line parses as JSON (the `/windows`,
+//! `/events`, and `/population/ndjson` planes).
 
 use crate::world::{Scale, World};
 use std::io::{Read, Write};
@@ -114,12 +117,32 @@ pub fn run_serve(args: &[String]) -> ! {
     // pipeline. Classification records into the global registry, so
     // scrapes see stage counters and spans grow live.
     let mut world = World::new(scale, seed, threads);
+    let abp_ips = world.eco.abp_ips.clone();
     let data = world.rbn1();
     eprintln!(
         "[serve] replayed RBN-1: {} classified requests, {} closed windows, {} late",
         data.classified.requests.len(),
         data.classified.windows.windows.len(),
         data.classified.windows.late
+    );
+
+    // Population plane: build the sketch report over the replayed trace
+    // and publish it, so `/population`, `/population/ndjson`, and the
+    // `obs_sketch_*` / class gauges serve real data.
+    let popts = adscope::PopulationOptions {
+        enabled: true,
+        ..adscope::PopulationOptions::default()
+    };
+    let population = adscope::population::finish_trace(&data.classified, &abp_ips, popts);
+    population.publish(registry);
+    eprintln!(
+        "[serve] population published: {} active browsers, topk {}",
+        population.active_browsers,
+        if population.exact_topk {
+            "exact"
+        } else {
+            "approximate"
+        }
     );
 
     // Optional slow-motion replay of the windowed series for dashboard
@@ -182,6 +205,7 @@ pub fn run_fetch(args: &[String]) -> ! {
     let mut path: Option<String> = None;
     let mut retries: u32 = 0;
     let mut check_metrics = false;
+    let mut check_ndjson = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -204,6 +228,7 @@ pub fn run_fetch(args: &[String]) -> ! {
                     .unwrap_or_else(|| fail_fetch("bad --retries value"));
             }
             "--check-metrics" => check_metrics = true,
+            "--check-ndjson" => check_ndjson = true,
             other => fail_fetch(&format!("unknown fetch argument {other:?}")),
         }
         i += 1;
@@ -240,6 +265,22 @@ pub fn run_fetch(args: &[String]) -> ! {
             std::process::exit(1);
         }
         eprintln!("[fetch] exposition OK ({} bytes)", body.len());
+    }
+    if check_ndjson {
+        let mut lines = 0usize;
+        for line in body.lines().filter(|l| !l.is_empty()) {
+            if let Err(e) = netsim::json::parse(line) {
+                eprintln!("error: NDJSON check failed on line {}: {e}", lines + 1);
+                eprintln!("  {line}");
+                std::process::exit(1);
+            }
+            lines += 1;
+        }
+        if lines == 0 {
+            eprintln!("error: NDJSON check failed: body has no lines");
+            std::process::exit(1);
+        }
+        eprintln!("[fetch] NDJSON OK ({lines} lines)");
     }
     print!("{body}");
     std::process::exit(0);
@@ -299,6 +340,9 @@ fn fail_serve(msg: &str) -> ! {
 
 fn fail_fetch(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: experiments fetch --port N --path <p> [--retries N] [--check-metrics]");
+    eprintln!(
+        "usage: experiments fetch --port N --path <p> [--retries N] [--check-metrics] \
+         [--check-ndjson]"
+    );
     std::process::exit(2);
 }

@@ -5,6 +5,7 @@
 //! experiments stream --rbn1|--rbn2 [--write-trace PATH] [--scale ...] [--seed N]
 //! common: [--chunk-records N] [--threads N] [--quarantine PATH] [--report PATH]
 //!         [--windows PATH] [--manifest PATH] [--throttle-ms N] [--stop-after-chunks N]
+//!         [--population]
 //! health: [--serve-port N] [--serve-port-file PATH] [--serve-linger]
 //!         [--watchdog-ms N] [--stall-after-chunks N] [--stall-ms N]
 //! ```
@@ -73,6 +74,7 @@ pub fn run(args: &[String]) -> ! {
     let mut watchdog_ms: u64 = 0;
     let mut scale = Scale::Small;
     let mut seed: u64 = 0x5eed;
+    let mut population = false;
     let mut opts = StreamOptions::default();
     let mut i = 0;
     while i < args.len() {
@@ -107,6 +109,7 @@ pub fn run(args: &[String]) -> ! {
                     .unwrap_or_else(|| fail("bad --checkpoint-every value"));
             }
             "--resume" => resume = true,
+            "--population" => population = true,
             "--quarantine" => {
                 i += 1;
                 let p = args
@@ -253,6 +256,14 @@ pub fn run(args: &[String]) -> ! {
         eco.lists.easyprivacy(),
         eco.lists.acceptable(),
     ]);
+    if population {
+        // Population sketches ride the scatter-merge dataflow; the ABP
+        // server addresses feed the household-download indicator, and
+        // every checkpoint barrier republishes the live `/population`
+        // plane.
+        opts.pipeline.population.enabled = true;
+        opts.abp_ips = eco.abp_ips.clone();
+    }
     let registry = obs::global();
 
     // The manifest skeleton is built before the run so /statusz can show
@@ -475,6 +486,11 @@ pub fn run(args: &[String]) -> ! {
             "--chunk-records".into(),
             opts.chunk_records.to_string(),
         ]);
+        if population {
+            // Affects the rendered report (population section), so the
+            // replay must carry it.
+            replay.push("--population".into());
+        }
         if let Some(p) = &opts.quarantine_path {
             replay.extend(["--quarantine".into(), p.display().to_string()]);
         }
@@ -547,7 +563,7 @@ fn fail(msg: &str) -> ! {
          \x20      [--quarantine PATH] [--report PATH] [--windows PATH] [--manifest PATH]\n\
          \x20      [--throttle-ms N] [--stop-after-chunks N] [--serve-port N]\n\
          \x20      [--serve-port-file PATH] [--serve-linger] [--watchdog-ms N]\n\
-         \x20      [--stall-after-chunks N] [--stall-ms N]\n\
+         \x20      [--stall-after-chunks N] [--stall-ms N] [--population]\n\
          \x20      [--scale small|medium|large] [--seed N] [--threads N]"
     );
     std::process::exit(2);
