@@ -71,6 +71,21 @@ test "$saw_pop" = 1
   --check-ndjson >target/experiments/serve_population.ndjson
 grep -q '"event":"population"' target/experiments/serve_population.ndjson
 grep -q '"event":"class"' target/experiments/serve_population.ndjson
+# Alert plane: published right after the population plane; the rendered
+# rule table must be live, the NDJSON body must parse line by line, and
+# the alert gauges must appear in a fresh scrape.
+saw_alerts=0
+for _ in $(seq 1 100); do
+  al="$(./target/release/experiments fetch --port "$SERVE_PORT" --path /alerts --retries 2 2>/dev/null || true)"
+  case "$al" in *'alerts rules='*) saw_alerts=1; break ;; esac
+  sleep 0.1
+done
+test "$saw_alerts" = 1
+./target/release/experiments fetch --port "$SERVE_PORT" --path /alerts/ndjson --retries 5 \
+  --check-ndjson >target/experiments/serve_alerts.ndjson
+grep -q '"event":"alerts"' target/experiments/serve_alerts.ndjson
+alerts_metrics="$(./target/release/experiments fetch --port "$SERVE_PORT" --path /metrics --retries 5 --check-metrics)"
+grep -q '^obs_alerts_firing' <<<"$alerts_metrics"
 ./target/release/experiments fetch --port "$SERVE_PORT" --path /quitz >/dev/null
 wait "$SERVE_PID"
 
@@ -158,6 +173,23 @@ grep -q '"event":"population"' "$STREAM_DIR/population.ndjson"
   --scratch "$STREAM_DIR/verify-population"
 echo "    streamed render == materialized exact render; manifest verifies"
 
+echo "==> experiments alerts (drift detection + deterministic timeline gate)"
+# The filter-list-lag drill: --check asserts the page rule is quiet
+# before the injected cut-over, goes pending within the CUSUM ramp and
+# fires, and that the timeline is byte-identical across thread counts
+# and chunk sizes. The manifest then replays byte-identically.
+./target/release/experiments alerts --scale small --check \
+  --out "$STREAM_DIR/alerts.txt" --ndjson "$STREAM_DIR/alerts.ndjson" \
+  --manifest "$STREAM_DIR/alerts.manifest.json" \
+  >/dev/null 2>"$STREAM_DIR/alerts.stderr"
+grep -q 'check: blocked_share_drop pending' "$STREAM_DIR/alerts.stderr"
+grep -q 'byte-identical across threads' "$STREAM_DIR/alerts.stderr"
+grep -q 'rule blocked_share_drop firing' "$STREAM_DIR/alerts.txt"
+grep -q '"event":"alert"' "$STREAM_DIR/alerts.ndjson"
+./target/release/experiments verify --manifest "$STREAM_DIR/alerts.manifest.json" \
+  --scratch "$STREAM_DIR/verify-alerts"
+echo "    list-lag drill fired at the cut-over; timeline deterministic; manifest verifies"
+
 echo "==> stream health plane (stall watchdog gate)"
 # Deterministic stall injection: the router sleeps 1.2 s after chunk 2
 # against a 250 ms watchdog budget. /healthz must flip to "stalled"
@@ -204,7 +236,7 @@ grep -q '# population' <<<"$pop"
 wait "$HEALTH_PID"
 echo "    watchdog flagged the stall, /healthz recovered, /population live"
 
-echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead, sketch_overhead, filter_engine)"
+echo "==> cargo bench (gated: trace_io, pipeline, streaming_pipeline, trace_overhead, window_overhead, sketch_overhead, filter_engine, detector_overhead)"
 rm -f BENCH_latest.json
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_io
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench pipeline
@@ -213,6 +245,7 @@ BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench trace_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench window_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench sketch_overhead
 BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench filter_engine
+BENCH_JSON="$PWD/BENCH_latest.json" cargo bench -p bench --bench detector_overhead
 
 echo "==> bench_gate (regression + overhead + compiled-engine speedup/throughput floors)"
 # --manifest joins the history row to the streaming run that CI just

@@ -66,16 +66,29 @@ pub fn extract(trace: &Trace) -> (Vec<WebObject>, usize) {
 /// *present-but-unparseable* ones, so corrupted traces (see
 /// `netsim::faults`) can be reconciled against what the pipeline absorbed.
 pub fn extract_with_report(trace: &Trace) -> (Vec<WebObject>, DegradationReport) {
+    let (out, report, _) = extract_full(trace);
+    (out, report)
+}
+
+/// [`extract_with_report`] plus the timestamps of the quarantined
+/// (unparseable-URL) records, in trace order — the `quarantined` window
+/// series' input, so the materialized and streaming paths count the same
+/// records into the same hourly buckets.
+pub fn extract_full(trace: &Trace) -> (Vec<WebObject>, DegradationReport, Vec<f64>) {
     let mut out = Vec::with_capacity(trace.records.len());
     let mut report = DegradationReport::default();
+    let mut quarantined_ts = Vec::new();
     let mut interner = Interner::new();
     for (idx, tx) in trace.http_transactions().enumerate() {
         match extract_one(idx, tx, &mut report, &mut interner) {
             Some(o) => out.push(o),
-            None => report.unparseable_urls += 1,
+            None => {
+                report.unparseable_urls += 1;
+                quarantined_ts.push(tx.ts);
+            }
         }
     }
-    (out, report)
+    (out, report, quarantined_ts)
 }
 
 pub(crate) fn extract_one(

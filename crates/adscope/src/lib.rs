@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod characterize;
 pub mod classify;
 pub mod content;

@@ -3,7 +3,7 @@
 use crate::classify::{AdLabel, ListKind, PassiveClassifier};
 use crate::content::{infer_category_traced, ContentOptions, ContentSource};
 use crate::degrade::DegradationReport;
-use crate::extract::{extract, extract_with_report, WebObject};
+use crate::extract::{extract, WebObject};
 use crate::normalize::UrlNormalizer;
 use crate::population::{PopulationOptions, PopulationSketches};
 use crate::provenance::{self, RecordMeta, TraceOptions, Tracer, VerdictProvenance};
@@ -154,7 +154,7 @@ pub fn classify_trace_in(
     // Stage: extract (URL reassembly + quarantine).
     let mut span = registry.span_with("adscope_stage", &[("stage", "extract")]);
     span.count("records_in", trace.records.len() as u64);
-    let (objects, mut degradation) = extract_with_report(trace);
+    let (objects, mut degradation, quarantined_ts) = crate::extract::extract_full(trace);
     let dropped = degradation.quarantined();
     span.count("records_out", objects.len() as u64);
     drop(span);
@@ -318,7 +318,7 @@ pub fn classify_trace_in(
     let windows = if opts.window.enabled {
         let mut span = registry.span_with("adscope_stage", &[("stage", "window")]);
         span.count("records_in", requests.len() as u64);
-        let windows = crate::window::aggregate(&requests, opts.window);
+        let windows = crate::window::aggregate(&requests, &quarantined_ts, opts.window);
         span.count("windows_out", windows.windows.len() as u64);
         drop(span);
         crate::window::publish(&windows, registry);

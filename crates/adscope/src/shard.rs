@@ -30,7 +30,7 @@
 
 use crate::classify::PassiveClassifier;
 use crate::content::{infer_category_traced, ContentSource};
-use crate::extract::{extract_with_report, WebObject};
+use crate::extract::{extract_full, WebObject};
 use crate::normalize::UrlNormalizer;
 use crate::pipeline::{ClassifiedRequest, ClassifiedTrace, PipelineOptions};
 use crate::provenance::{self, RecordMeta, Tracer, VerdictProvenance};
@@ -240,7 +240,7 @@ pub fn classify_trace_sharded_in(
     // Stage: extract (sequential — it assigns the global record order).
     let mut span = registry.span_with("adscope_stage", &[("stage", "extract")]);
     span.count("records_in", trace.records.len() as u64);
-    let (objects, mut degradation) = extract_with_report(trace);
+    let (objects, mut degradation, quarantined_ts) = extract_full(trace);
     let dropped = degradation.quarantined();
     span.count("records_out", objects.len() as u64);
     drop(span);
@@ -347,7 +347,7 @@ pub fn classify_trace_sharded_in(
     let windows = if opts.window.enabled {
         let mut span = registry.span_with("adscope_stage", &[("stage", "window")]);
         span.count("records_in", requests.len() as u64);
-        let windows = crate::window::aggregate(&requests, opts.window);
+        let windows = crate::window::aggregate(&requests, &quarantined_ts, opts.window);
         span.count("windows_out", windows.windows.len() as u64);
         drop(span);
         crate::window::publish(&windows, registry);

@@ -190,6 +190,13 @@ pub struct StreamOptions {
     /// these addresses on port 443 mark the client household as a
     /// list-downloading one (Table 3 classes B/C).
     pub abp_ips: Vec<u32>,
+    /// Alert rules evaluated over the merged window report at every
+    /// checkpoint barrier and at the final merge (empty = alerting off).
+    /// Evaluation is a full recompute over the merged report (see
+    /// [`obs::AlertEngine::eval_report`]), so the alert timeline is
+    /// byte-identical at any thread count, chunk size, or kill/resume
+    /// schedule — and identical to the materialized path's.
+    pub alerts: Vec<obs::AlertRule>,
 }
 
 impl Default for StreamOptions {
@@ -208,6 +215,7 @@ impl Default for StreamOptions {
             stall_after_chunks: None,
             stall_ms: 0,
             abp_ips: Vec::new(),
+            alerts: Vec::new(),
         }
     }
 }
@@ -254,6 +262,10 @@ pub struct StreamReport {
     /// byte-identically at any thread count, chunk size, or
     /// kill/resume schedule.
     pub population: Option<PopulationReport>,
+    /// The alert engine after the final evaluation (`None` unless
+    /// [`StreamOptions::alerts`] named rules). Its timeline is a pure
+    /// function of [`StreamReport::windows`].
+    pub alerts: Option<obs::AlertEngine>,
 }
 
 impl StreamReport {
@@ -294,6 +306,10 @@ impl StreamReport {
         if let Some(p) = &self.population {
             out.push_str("population:\n");
             out.push_str(&p.render());
+        }
+        if let Some(a) = &self.alerts {
+            out.push_str("alerts:\n");
+            out.push_str(&a.render_text());
         }
         out
     }
@@ -682,10 +698,12 @@ impl<'a> Worker<'a> {
             self.process_record(pos, obj);
             return;
         }
+        let ts = obj.ts;
         let backup = self.quarantine.as_ref().map(|_| obj.clone());
         let res = catch_unwind(AssertUnwindSafe(|| self.process_record(pos, obj)));
         if res.is_err() {
             self.core.poisoned += 1;
+            self.core.windows.observe_quarantined(ts);
             if let (Some(q), Some(b)) = (self.quarantine.as_ref(), backup) {
                 q.write_line(&record_to_json(&reconstruct_record(&b)));
             }
@@ -788,8 +806,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// deliberately excluded: restored users re-route by `shard_of`.
 fn config_hash(opts: &StreamOptions) -> u64 {
     let s = format!(
-        "{:?}|{}|{}|{:?}",
-        opts.pipeline, opts.chunk_records, FORMAT_VERSION, opts.abp_ips
+        "{:?}|{}|{}|{:?}|{:?}",
+        opts.pipeline, opts.chunk_records, FORMAT_VERSION, opts.abp_ips, opts.alerts
     );
     fnv1a(s.as_bytes())
 }
@@ -1376,6 +1394,108 @@ fn population_from_value(
     })
 }
 
+/// Alert-event kind keywords, as the `&'static` table
+/// [`obs::AlertEngineState`] events reference (checkpoint decode maps
+/// parsed strings back onto it).
+const ALERT_KINDS: &[&str] = &["pending", "firing", "resolved"];
+
+fn alerts_to_json(out: &mut String, st: &obs::AlertEngineState) {
+    let _ = write!(
+        out,
+        ",\"alerts\":{{\"rules_fnv\":{},\"updates\":{},\"detectors\":[",
+        st.rules_fnv, st.updates
+    );
+    for (i, words) in st.detectors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, w) in words.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{w}");
+        }
+        out.push(']');
+    }
+    out.push_str("],\"phases\":[");
+    for (i, (p, breach, clear, since)) in st.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{p},{breach},{clear},{since}]");
+    }
+    out.push_str("],\"events\":[");
+    for (i, (rule, window, kind, value, score)) in st.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{rule},{window},\"{kind}\",{value},{score}]");
+    }
+    out.push_str("]}");
+}
+
+fn alerts_from_value(v: &Value<'_>) -> Result<obs::AlertEngineState, StreamError> {
+    let rules_fnv = field_u64(v, "rules_fnv")?;
+    let updates = field_u64(v, "updates")?;
+    let mut detectors = Vec::new();
+    for words in field_array(v, "detectors")? {
+        let Value::Array(a) = words else {
+            return Err(ck_err("detector state is not an array"));
+        };
+        let mut ws = Vec::with_capacity(a.len());
+        for w in a {
+            ws.push(w.as_u64().ok_or_else(|| ck_err("detector state word"))?);
+        }
+        detectors.push(ws);
+    }
+    let mut phases = Vec::new();
+    for e in field_array(v, "phases")? {
+        let Value::Array(a) = e else {
+            return Err(ck_err("alert phase is not an array"));
+        };
+        if a.len() != 4 {
+            return Err(ck_err("alert phase arity"));
+        }
+        let p = a[0].as_u64().ok_or_else(|| ck_err("alert phase tag"))? as u8;
+        let breach = a[1].as_u64().ok_or_else(|| ck_err("alert breach streak"))? as u32;
+        let clear = a[2].as_u64().ok_or_else(|| ck_err("alert clear streak"))? as u32;
+        let since = match &a[3] {
+            Value::Int(i) => *i as i64,
+            _ => return Err(ck_err("alert since index")),
+        };
+        phases.push((p, breach, clear, since));
+    }
+    let mut events = Vec::new();
+    for e in field_array(v, "events")? {
+        let Value::Array(a) = e else {
+            return Err(ck_err("alert event is not an array"));
+        };
+        if a.len() != 5 {
+            return Err(ck_err("alert event arity"));
+        }
+        let rule = a[0].as_u64().ok_or_else(|| ck_err("alert event rule"))?;
+        let window = match &a[1] {
+            Value::Int(i) => *i as i64,
+            _ => return Err(ck_err("alert event window")),
+        };
+        let kind = static_name(
+            ALERT_KINDS,
+            a[2].as_str().ok_or_else(|| ck_err("alert kind"))?,
+        )?;
+        let value = a[3].as_u64().ok_or_else(|| ck_err("alert value bits"))?;
+        let score = a[4].as_u64().ok_or_else(|| ck_err("alert score bits"))?;
+        events.push((rule, window, kind, value, score));
+    }
+    Ok(obs::AlertEngineState {
+        rules_fnv,
+        detectors,
+        phases,
+        events,
+        updates,
+    })
+}
+
 fn manifest_to_json(
     hash: u64,
     meta: &TraceMeta,
@@ -1383,6 +1503,7 @@ fn manifest_to_json(
     windows: &WindowReport,
     decode_windows: &WindowReport,
     population: Option<&PopulationCum>,
+    alerts: Option<&obs::AlertEngineState>,
 ) -> String {
     let mut out = String::with_capacity(1024);
     let _ = write!(
@@ -1436,6 +1557,9 @@ fn manifest_to_json(
     if let Some(p) = population {
         population_to_json(&mut out, p);
     }
+    if let Some(a) = alerts {
+        alerts_to_json(&mut out, a);
+    }
     out.push('}');
     out
 }
@@ -1448,6 +1572,7 @@ struct ResumeState {
     decode_windows: WindowReport,
     users: Vec<RestoredUser>,
     population: Option<PopulationCum>,
+    alerts: Option<obs::AlertEngineState>,
 }
 
 fn load_checkpoint(dir: &Path, opts: &StreamOptions) -> Result<ResumeState, StreamError> {
@@ -1530,6 +1655,10 @@ fn load_checkpoint(dir: &Path, opts: &StreamOptions) -> Result<ResumeState, Stre
         Some(pv) => Some(population_from_value(pv, opts.pipeline.population)?),
         None => None,
     };
+    let alerts = match m.get("alerts") {
+        Some(av) => Some(alerts_from_value(av)?),
+        None => None,
+    };
     let mut users = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -1544,6 +1673,7 @@ fn load_checkpoint(dir: &Path, opts: &StreamOptions) -> Result<ResumeState, Stre
         decode_windows,
         users,
         population,
+        alerts,
     })
 }
 
@@ -1681,36 +1811,44 @@ where
 
     // Split the resume state into router progress, merged-window bases,
     // worker counter bases, and the per-worker user state.
-    let (mut progress, mut windows_cum, mut decode_cum, restored_users, resumed_population) =
-        match resume {
-            Some(r) => (
-                r.progress,
-                r.windows,
-                r.decode_windows,
-                r.users,
-                r.population,
-            ),
-            None => (
-                Progress {
-                    offset: 0,
-                    chunks: 0,
-                    seq: 0,
-                    next_pos: 0,
-                    next_http_idx: 0,
-                    prev_ts: f64::NEG_INFINITY,
-                    codec: CodecStats::default(),
-                    degradation: DegradationReport::default(),
-                    requests: 0,
-                    ads: 0,
-                    https_flows: 0,
-                    quarantine_bytes: 0,
-                },
-                WindowReport::default(),
-                WindowReport::default(),
-                Vec::new(),
-                None,
-            ),
-        };
+    let (
+        mut progress,
+        mut windows_cum,
+        mut decode_cum,
+        restored_users,
+        resumed_population,
+        resumed_alerts,
+    ) = match resume {
+        Some(r) => (
+            r.progress,
+            r.windows,
+            r.decode_windows,
+            r.users,
+            r.population,
+            r.alerts,
+        ),
+        None => (
+            Progress {
+                offset: 0,
+                chunks: 0,
+                seq: 0,
+                next_pos: 0,
+                next_http_idx: 0,
+                prev_ts: f64::NEG_INFINITY,
+                codec: CodecStats::default(),
+                degradation: DegradationReport::default(),
+                requests: 0,
+                ads: 0,
+                https_flows: 0,
+                quarantine_bytes: 0,
+            },
+            WindowReport::default(),
+            WindowReport::default(),
+            Vec::new(),
+            None,
+            None,
+        ),
+    };
     // Cumulative population state lives on the router (workers send
     // deltas); a resumed run picks up the checkpointed state verbatim.
     let mut population_cum = if popts.population.enabled {
@@ -1718,6 +1856,22 @@ where
     } else {
         None
     };
+    // The alert engine lives on the router and re-evaluates the merged
+    // report at every barrier — full recompute, so where the barriers
+    // fall cannot change the timeline. A resumed run restores the
+    // checkpointed image (the pack hash guards compatibility).
+    let mut alert_engine = if opts.alerts.is_empty() {
+        None
+    } else {
+        Some(match resumed_alerts {
+            Some(st) => obs::AlertEngine::from_state(opts.alerts.clone(), st).map_err(ck_err)?,
+            None => obs::AlertEngine::new(opts.alerts.clone()),
+        })
+    };
+    // Unparseable records never reach a worker, so the router counts
+    // them into the `quarantined` window series itself; the cuts merge
+    // into the cumulative report exactly like worker deltas.
+    let mut router_windows = WindowAggregator::new(popts.window);
     let abp_set: HashSet<u32> = opts.abp_ips.iter().copied().collect();
     // Worker counters restart at zero each run; the manifest values
     // become the base the totals add onto.
@@ -1818,6 +1972,7 @@ where
                             }
                             None => {
                                 progress.degradation.unparseable_urls += 1;
+                                router_windows.observe_quarantined(tx.ts);
                                 if let Some(q) = &quarantine {
                                     q.write_line(&record_to_json(&TraceRecord::Http(tx)));
                                 }
@@ -1888,6 +2043,11 @@ where
                             for a in &acks {
                                 windows_cum.merge(&a.windows);
                             }
+                            windows_cum.merge(&router_windows.cut());
+                            if let Some(eng) = &mut alert_engine {
+                                eng.eval_report(&windows_cum);
+                                eng.publish(registry);
+                            }
                             if let Some(cum) = &mut population_cum {
                                 for a in &acks {
                                     if let Some(d) = &a.population {
@@ -1923,6 +2083,7 @@ where
                                 },
                                 None => 0,
                             };
+                            let alert_state = alert_engine.as_ref().map(obs::AlertEngine::state);
                             let manifest = manifest_to_json(
                                 hash,
                                 &meta,
@@ -1930,6 +2091,7 @@ where
                                 &windows_cum,
                                 &decode_cum,
                                 population_cum.as_ref(),
+                                alert_state.as_ref(),
                             );
                             if let Err(e) = write_checkpoint(&ck.dir, &manifest, &acks) {
                                 loop_result = Err(e.into());
@@ -1980,6 +2142,7 @@ where
         for f in &finals {
             windows_cum.merge(&f.windows);
         }
+        windows_cum.merge(&router_windows.finish());
         let mut degradation = progress.degradation;
         degradation.refmap_misses = base_refmap
             + finals
@@ -2023,6 +2186,13 @@ where
         crate::window::publish(&windows_cum, registry);
         publish_decode_windows(&decode_cum, registry);
 
+        // Final alert evaluation over the fully merged report — the
+        // timeline every render and endpoint serves from here on.
+        if let Some(eng) = &mut alert_engine {
+            eng.eval_report(&windows_cum);
+            eng.publish(registry);
+        }
+
         // Final population report: residual worker deltas merged in
         // worker-index order, then the shared `finish` over the
         // cumulative state — the same function the materialized path
@@ -2063,6 +2233,7 @@ where
             stopped_early,
             collected,
             population,
+            alerts: alert_engine,
         })
     })
 }

@@ -62,6 +62,7 @@ pub const COUNTERS: &[&str] = &[
     "blocked_easyprivacy",
     "whitelisted",
     "refmap_miss",
+    "quarantined",
     "bytes",
 ];
 
@@ -84,6 +85,7 @@ pub struct WindowAggregator {
     c_easyprivacy: obs::window::CounterId,
     c_whitelisted: obs::window::CounterId,
     c_refmap_miss: obs::window::CounterId,
+    c_quarantined: obs::window::CounterId,
     c_bytes: obs::window::CounterId,
     h_rtb: obs::window::HistId,
 }
@@ -99,6 +101,7 @@ impl WindowAggregator {
             c_easyprivacy: engine.counter_series("blocked_easyprivacy"),
             c_whitelisted: engine.counter_series("whitelisted"),
             c_refmap_miss: engine.counter_series("refmap_miss"),
+            c_quarantined: engine.counter_series("quarantined"),
             c_bytes: engine.counter_series("bytes"),
             h_rtb: engine.hist_series(RTB_HIST),
             engine,
@@ -136,6 +139,17 @@ impl WindowAggregator {
         }
     }
 
+    /// Count one quarantined record (unparseable URL or poisoned) in its
+    /// window: the `quarantine_burst` alert rule's input series. Zero
+    /// counters are elided from closed windows, so clean traces render
+    /// exactly as before this series existed.
+    pub fn observe_quarantined(&mut self, ts: f64) {
+        if !self.opts.enabled {
+            return;
+        }
+        self.engine.count(ts, self.c_quarantined, 1);
+    }
+
     /// Cut a partial report: close and return everything observed so far,
     /// leaving the aggregator empty but live (checkpoint barriers). With
     /// an infinite watermark the cut deltas merge back grouping-
@@ -153,13 +167,21 @@ impl WindowAggregator {
     }
 }
 
-/// Fold classified requests into per-window series. Returns an empty
+/// Fold classified requests — plus the timestamps of quarantined
+/// (unparseable) records — into per-window series. Returns an empty
 /// report when windowing is disabled.
-pub fn aggregate(requests: &[ClassifiedRequest], opts: WindowOptions) -> WindowReport {
+pub fn aggregate(
+    requests: &[ClassifiedRequest],
+    quarantined_ts: &[f64],
+    opts: WindowOptions,
+) -> WindowReport {
     let mut agg = WindowAggregator::new(opts);
     if opts.enabled {
         for r in requests {
             agg.observe(r);
+        }
+        for &ts in quarantined_ts {
+            agg.observe_quarantined(ts);
         }
     }
     agg.finish()
@@ -247,7 +269,7 @@ mod tests {
             req(25.0, "http://nice.example/ok.js"),
             req(4000.0, "http://x.example/b"),
         ];
-        let report = aggregate(&rs, WindowOptions::default());
+        let report = aggregate(&rs, &[], WindowOptions::default());
         assert_eq!(report.windows.len(), 2);
         assert_eq!(report.total("requests"), 4);
         assert_eq!(report.total("ads"), 2, "block + exception both ads");
@@ -265,6 +287,7 @@ mod tests {
         let rs = vec![req(10.0, "http://ads.example/banners/a.gif")];
         let report = aggregate(
             &rs,
+            &[],
             WindowOptions {
                 enabled: false,
                 ..WindowOptions::default()
@@ -281,7 +304,7 @@ mod tests {
             req(10.0, "http://ads.example/banners/a.gif"),
             req(20.0, "http://x.example/a"),
         ];
-        let report = aggregate(&rs, WindowOptions::default());
+        let report = aggregate(&rs, &[], WindowOptions::default());
         publish(&report, &r);
         let snap = r.snapshot();
         assert_eq!(snap.counter("adscope_windows_closed_total", &[]), 1);

@@ -1,0 +1,63 @@
+//! Alerting-plane overhead on the streaming pipeline.
+//!
+//! The acceptance budget: running the built-in alert rule pack — the
+//! per-barrier full recompute of every detector over the merged window
+//! report — must stay within 5% of the alert-free streaming
+//! throughput. The two medians land side by side in the `BENCH_JSON`
+//! NDJSON (`detector_overhead/stream_alerts_off` vs
+//! `stream_alerts_on`) and `bench_gate` checks the self-relative ratio
+//! against a lenient 15% CI ceiling — same noise-tolerance rationale
+//! as the sketch- and window-overhead gates.
+
+use adscope::stream::{classify_stream_file, StreamOptions};
+use bench::{bench_classifier, bench_ecosystem, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn detector_overhead(c: &mut Criterion) {
+    let eco = bench_ecosystem();
+    let classifier = bench_classifier(&eco);
+    let trace = bench_trace(&eco);
+    let n = trace.http_count() as u64;
+    let threads = parallel::available_parallelism();
+
+    // One trace file on disk, shared by every iteration: the bench
+    // measures decode + route + classify (+ detector upkeep), not
+    // trace generation.
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "bench-detector-overhead-{}.trace",
+        std::process::id()
+    ));
+    let file = std::fs::File::create(&path).expect("create bench trace file");
+    netsim::codec::write_trace(&trace, std::io::BufWriter::new(file)).expect("write bench trace");
+
+    let mut group = c.benchmark_group("detector_overhead");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(n));
+    group.threads(threads);
+
+    let run = |enabled: bool| {
+        let opts = StreamOptions {
+            threads,
+            abp_ips: eco.abp_ips.clone(),
+            alerts: if enabled {
+                adscope::alerts::rule_pack()
+            } else {
+                Vec::new()
+            },
+            ..StreamOptions::default()
+        };
+        classify_stream_file(&path, &classifier, &opts, &obs::Registry::new())
+            .expect("stream classify")
+    };
+
+    group.bench_function("stream_alerts_off", |b| b.iter(|| black_box(run(false))));
+    group.bench_function("stream_alerts_on", |b| b.iter(|| black_box(run(true))));
+    group.finish();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, detector_overhead);
+criterion_main!(benches);

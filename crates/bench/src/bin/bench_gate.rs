@@ -22,7 +22,11 @@
 //!    against the same 15% ceiling over the 5% design budget;
 //! 4. computes the population-sketch overhead on the streaming path
 //!    (`sketch_overhead/stream_sketches_on` vs `stream_sketches_off`)
-//!    against the same 15% ceiling over the 5% design budget.
+//!    against the same 15% ceiling over the 5% design budget;
+//! 5. computes the alert-detector overhead the same way
+//!    (`detector_overhead/stream_alerts_on` vs `stream_alerts_off`)
+//!    against the same 15% ceiling — the per-barrier full recompute of
+//!    the rule pack must stay in the instrumentation noise.
 //!
 //! Every run appends one NDJSON line of its results to a history file
 //! (default `BENCH_history.ndjson`, committed, so the perf record
@@ -57,7 +61,7 @@ const GATES: [(&str, &str, f64); 4] = [
 
 /// Self-relative overhead gates within the latest run:
 /// (group, on-name, off-name, label, ceiling).
-const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 3] = [
+const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 4] = [
     (
         "trace_overhead",
         "sharded_ppm_10000",
@@ -77,6 +81,13 @@ const OVERHEAD_GATES: [(&str, &str, &str, &str, f64); 3] = [
         "stream_sketches_on",
         "stream_sketches_off",
         "population sketches",
+        1.15,
+    ),
+    (
+        "detector_overhead",
+        "stream_alerts_on",
+        "stream_alerts_off",
+        "alert detectors",
         1.15,
     ),
 ];

@@ -415,10 +415,11 @@ impl Verdict {
 
 /// Compute the current verdict: stalled beats degraded beats ok.
 /// Degraded means lossy-but-alive: any bounded sink dropped lines, or
-/// poison records were quarantined. Dataset-quality degradation reasons
-/// (content-type fallbacks, refmap misses, ...) deliberately do NOT
-/// trip it — they describe the input, not the run's health, and are
-/// non-zero on every realistic trace.
+/// poison records were quarantined — or the alert plane has a
+/// page-severity alert firing (see [`crate::alert`]). Dataset-quality
+/// degradation reasons (content-type fallbacks, refmap misses, ...)
+/// deliberately do NOT trip it — they describe the input, not the run's
+/// health, and are non-zero on every realistic trace.
 pub fn verdict(registry: &Registry) -> Verdict {
     if registry.health().stalled() {
         return Verdict::Stalled;
@@ -431,7 +432,11 @@ pub fn verdict(registry: &Registry) -> Verdict {
             "adscope_degradation_total",
             &[("reason", "poisoned_records")],
         );
-    if lossy > 0 {
+    let paging = matches!(
+        snap.get("obs_alerts_firing", &[("severity", "page")]),
+        Some(crate::registry::SampleValue::Gauge(g)) if *g > 0.0
+    );
+    if lossy > 0 || paging {
         Verdict::Degraded
     } else {
         Verdict::Ok
@@ -532,6 +537,22 @@ pub fn render_statusz(registry: &Registry) -> String {
         .collect();
     if !class_counts.is_empty() {
         let _ = writeln!(out, "classes:   {}", class_counts.join("  "));
+    }
+    // Alert-plane-so-far: firing counts per severity, published by the
+    // alert engine at each barrier (absent until one runs).
+    let alert_counts: Vec<String> = ["info", "warn", "page"]
+        .iter()
+        .filter_map(
+            |sev| match snap.get("obs_alerts_firing", &[("severity", sev)]) {
+                Some(crate::registry::SampleValue::Gauge(g)) => {
+                    Some(format!("{sev}={}", *g as u64))
+                }
+                _ => None,
+            },
+        )
+        .collect();
+    if !alert_counts.is_empty() {
+        let _ = writeln!(out, "alerts:    {}", alert_counts.join("  "));
     }
     if !s.workers.is_empty() {
         let _ = writeln!(out, "\nworker   records      batches   queue   beat-age-ms");

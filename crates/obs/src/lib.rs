@@ -33,6 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
+pub mod detect;
 pub mod events;
 pub mod health;
 pub mod manifest;
@@ -47,6 +49,11 @@ pub mod span;
 pub mod trace;
 pub mod window;
 
+pub use alert::{
+    rules_fnv, AlertEngine, AlertEngineState, AlertEvent, AlertEventKind, AlertRule, Direction,
+    Phase, SeriesSpec, Severity,
+};
+pub use detect::{Detector, DetectorSpec};
 pub use events::{Event, EventLog, FieldValue};
 pub use health::{spawn_watchdog, Health, HealthSnapshot, Verdict, Watchdog, WorkerHealth};
 pub use manifest::{fnv64, fnv64_file, fnv64_lines_unordered, Artifact, DigestMode, RunManifest};

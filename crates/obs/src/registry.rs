@@ -136,6 +136,7 @@ pub struct Registry {
     profile: ProfileStore,
     health: Health,
     population: RwLock<(String, String)>,
+    alerts: RwLock<(String, String)>,
 }
 
 impl Default for Registry {
@@ -159,6 +160,7 @@ impl Registry {
             profile: ProfileStore::default(),
             health: Health::default(),
             population: RwLock::new((String::new(), String::new())),
+            alerts: RwLock::new((String::new(), String::new())),
         }
     }
 
@@ -354,6 +356,26 @@ impl Registry {
     /// The current population NDJSON (empty until a producer publishes).
     pub fn population_ndjson(&self) -> String {
         self.population.read().expect("population lock").1.clone()
+    }
+
+    /// Install the pre-rendered alert plane (human timeline + NDJSON),
+    /// served at `/alerts` and `/alerts/ndjson`. Same contract as
+    /// [`Registry::set_population`]: the producer (usually
+    /// [`crate::alert::AlertEngine::publish`]) renders, the registry
+    /// stores bytes.
+    pub fn set_alerts(&self, text: String, ndjson: String) {
+        let mut slot = self.alerts.write().expect("alerts lock");
+        *slot = (text, ndjson);
+    }
+
+    /// The current alert timeline (empty until an engine publishes).
+    pub fn alerts_text(&self) -> String {
+        self.alerts.read().expect("alerts lock").0.clone()
+    }
+
+    /// The current alert NDJSON (empty until an engine publishes).
+    pub fn alerts_ndjson(&self) -> String {
+        self.alerts.read().expect("alerts lock").1.clone()
     }
 }
 

@@ -160,9 +160,8 @@ fn handle(
     // "other" so request paths can't explode metric cardinality.
     let label = match path.as_str() {
         "/" | "/metrics" | "/healthz" | "/statusz" | "/statusz/ndjson" | "/windows"
-        | "/population" | "/population/ndjson" | "/profile" | "/profile/table" | "/quitz" => {
-            path.as_str()
-        }
+        | "/population" | "/population/ndjson" | "/alerts" | "/alerts/ndjson" | "/profile"
+        | "/profile/table" | "/quitz" => path.as_str(),
         _ => "other",
     };
     registry
@@ -194,6 +193,8 @@ fn route(
              /windows        closed time windows (NDJSON)\n\
              /population     population analytics (human table)\n\
              /population/ndjson population analytics (NDJSON)\n\
+             /alerts         alert timeline (human table)\n\
+             /alerts/ndjson  alert timeline (NDJSON)\n\
              /profile        collapsed-stack profile (folded)\n\
              /profile/table  self/total time table\n\
              /quitz          request clean shutdown\n"
@@ -252,6 +253,24 @@ fn route(
             "200 OK",
             "application/x-ndjson",
             registry.population_ndjson(),
+        ),
+        "/alerts" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            match registry.alerts_text() {
+                t if t.is_empty() => "alerts: no engine published yet\n".to_string(),
+                t => t,
+            },
+        ),
+        "/alerts/ndjson" => (
+            "200 OK",
+            "application/x-ndjson",
+            match registry.alerts_ndjson() {
+                // Keep the body one parseable line even before an engine
+                // publishes, so NDJSON checkers always pass.
+                t if t.is_empty() => "{\"event\":\"alerts\",\"published\":false}\n".to_string(),
+                t => t,
+            },
         ),
         "/profile" => (
             "200 OK",

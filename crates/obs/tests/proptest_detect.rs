@@ -1,0 +1,56 @@
+//! Property tests: detector checkpoints are identity — a detector
+//! resumed from its `state()` words continues bit-for-bit like one that
+//! never stopped, for every spec and any split point. This is the
+//! contract that lets the alert engine ride the streaming pipeline's
+//! checkpoint and render an identical timeline after kill-and-resume.
+
+use obs::{Detector, DetectorSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = DetectorSpec> {
+    prop_oneof![
+        (0.05f64..1.0).prop_map(|alpha| DetectorSpec::EwmaZ { alpha }),
+        (0.0f64..0.5).prop_map(|drift| DetectorSpec::Cusum { drift }),
+        Just(DetectorSpec::RateOfChange),
+    ]
+}
+
+proptest! {
+    /// Scores and final state after prefix → checkpoint → resume →
+    /// suffix are bit-identical to one uninterrupted fold.
+    #[test]
+    fn checkpoint_round_trip_is_identity(
+        spec in spec_strategy(),
+        values in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+
+        let mut unbroken = Detector::new(&spec);
+        let want: Vec<u64> = values.iter().map(|&x| unbroken.update(x).to_bits()).collect();
+
+        let mut prefix = Detector::new(&spec);
+        let mut got: Vec<u64> = values[..split]
+            .iter()
+            .map(|&x| prefix.update(x).to_bits())
+            .collect();
+        let words = prefix.state();
+        let mut resumed = Detector::from_state(&spec, &words).expect("state words decode");
+        got.extend(values[split..].iter().map(|&x| resumed.update(x).to_bits()));
+
+        prop_assert_eq!(got, want, "scores diverge after resume");
+        prop_assert_eq!(resumed.state(), unbroken.state(), "final state diverges");
+    }
+
+    /// State words of the wrong arity are rejected, never misread.
+    #[test]
+    fn wrong_arity_state_is_rejected(
+        spec in spec_strategy(),
+        extra in proptest::collection::vec(0u64..u64::MAX, 0..8),
+    ) {
+        let good = Detector::new(&spec).state();
+        if extra.len() != good.len() {
+            prop_assert!(Detector::from_state(&spec, &extra).is_none());
+        }
+    }
+}

@@ -218,6 +218,80 @@ impl Ecosystem {
     pub fn is_acceptable_company(&self, idx: usize) -> bool {
         self.companies[idx].acceptable
     }
+
+    /// The filter-list-lag scenario: the ad ecosystem moves on while the
+    /// subscription stands still.
+    ///
+    /// The `delist` highest-weight non-acceptable ad networks and
+    /// exchanges rotate to fresh serving domains (a sibling label, so
+    /// the stale `||old-domain^` rules cannot anchor-match) on freshly
+    /// bound servers, and drop off the lists' radar (`listed = false`,
+    /// so rebuilt pages use `/native/` and `/promo/` path markers no
+    /// generic rule covers). Every publisher's pages are rebuilt against
+    /// the evolved companies. **`lists` is deliberately left at the
+    /// base ecosystem's generation** — it *is* the stale subscription a
+    /// lagging ad-block user keeps matching against, which is exactly
+    /// what makes the blocked share drop at the cut-over. The drop is
+    /// partial by construction: RTB bid calls keep the `/adserve/` path
+    /// the generic rule covers, and `/adframe/` iframes stay covered
+    /// regardless of listing — generic rules are exactly the part of a
+    /// stale list that survives a domain rotation.
+    ///
+    /// Returns the evolved ecosystem plus the rotated company indices.
+    pub fn evolve_list_lag(&self, delist: usize) -> (Ecosystem, Vec<usize>) {
+        let mut eco = self.clone();
+        let mut rng = StdRng::seed_from_u64(eco.config.seed ^ 0x1a9_1a9);
+        // Highest-weight companies first: the rotation must move enough
+        // ad traffic off the lists for the drop to be visible.
+        let mut candidates: Vec<usize> = eco
+            .companies
+            .iter()
+            .filter(|c| {
+                matches!(c.kind, AdTechKind::AdNetwork | AdTechKind::Exchange)
+                    && !c.acceptable
+                    && c.listed
+            })
+            .map(|c| c.id)
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            eco.companies[b]
+                .weight
+                .partial_cmp(&eco.companies[a].weight)
+                .expect("finite weights")
+        });
+        candidates.truncate(delist);
+        let clouds = eco.asns.of_kind(AsKind::Cloud);
+        for &id in &candidates {
+            let c = &mut eco.companies[id];
+            c.listed = false;
+            for d in c.domains.iter_mut() {
+                // `ads.adnetNN.example` → `ads2.adnetNN.example`: a new
+                // host (not a subdomain of the old one), so the frozen
+                // `||ads.adnetNN.example^` rule no longer matches.
+                let rotated = match d.split_once('.') {
+                    Some((label, rest)) => format!("{label}2.{rest}"),
+                    None => format!("{d}2"),
+                };
+                let asn = clouds[id % clouds.len()];
+                let ips: Vec<u32> = (0..3)
+                    .map(|_| {
+                        eco.servers
+                            .add_server(asn, Region::European, BackendClass::Dynamic)
+                    })
+                    .collect();
+                eco.servers.bind_host(&rotated, ips);
+                *d = rotated;
+            }
+        }
+        // Rebuild every page against the evolved companies — rotated
+        // domains and unlisted path markers included.
+        for i in 0..eco.publishers.len() {
+            let n = eco.publishers[i].pages.len().max(2);
+            eco.publishers[i].pages =
+                build_pages_for(&eco.publishers[i], &eco.companies, &mut rng, n);
+        }
+        (eco, candidates)
+    }
 }
 
 fn build_companies(
@@ -788,9 +862,14 @@ fn push_ad_objects(
     };
     // 1. The ad call: a script or (for exchanges) an RTB bid request.
     if c.rtb {
+        // Exchanges are always listed at generation time, so the `/rtb/`
+        // arm only appears after `evolve_list_lag` delists one: the
+        // rotated exchange ships a new bid API path the stale generic
+        // `/adserve/` rule no longer covers.
+        let bid_marker = if c.listed { "adserve" } else { "rtb" };
         objects.push(PageObject {
             host: host.clone(),
-            path: format!("/adserve/bid{page_idx}_{slot}"),
+            path: format!("/{bid_marker}/bid{page_idx}_{slot}"),
             category: ContentCategory::Xhr,
             size: SizeClass::TextChunk,
             kind: ObjectKind::Ad {
@@ -1114,6 +1193,41 @@ mod tests {
         let p = &eco.publishers[eco.self_platform_publisher];
         assert_eq!(p.category, SiteCategory::Tech);
         assert!(p.self_hosted_ads);
+    }
+
+    #[test]
+    fn list_lag_rotates_domains_off_the_stale_rules() {
+        let eco = small();
+        let (evolved, rotated) = eco.evolve_list_lag(4);
+        assert_eq!(rotated.len(), 4);
+        for &id in &rotated {
+            let before = &eco.companies[id];
+            let after = &evolved.companies[id];
+            assert!(before.listed && !after.listed);
+            assert_ne!(before.domains, after.domains);
+            for d in &after.domains {
+                // New hosts resolve, and the frozen list has no rule
+                // anchored on them.
+                assert!(evolved.server_for(d, 0).is_some(), "unbound {d}");
+                assert!(
+                    !eco.lists.easylist_text.contains(d.as_str()),
+                    "stale list already covers {d}"
+                );
+            }
+        }
+        // The stale subscription is kept verbatim — that is the lag.
+        assert_eq!(eco.lists.easylist_text, evolved.lists.easylist_text);
+        // Rebuilt pages reference the rotated domains.
+        let uses_rotated = evolved.publishers.iter().any(|p| {
+            p.pages.iter().any(|pg| {
+                pg.objects.iter().any(|o| {
+                    rotated
+                        .iter()
+                        .any(|&id| evolved.companies[id].domains.contains(&o.host))
+                })
+            })
+        });
+        assert!(uses_rotated, "no page uses a rotated domain");
     }
 
     #[test]

@@ -1057,6 +1057,16 @@ fn metrics(world: &mut World) -> String {
     );
 
     let registry = obs::global();
+
+    // Alert plane: run the built-in rule pack over the RBN-2 windows and
+    // publish before the snapshot, so the `obs_alerts_*` samples land in
+    // the tables and the exposition artifact alike.
+    let mut alert_engine = adscope::alerts::evaluate(
+        &world.rbn2_ref().classified.windows,
+        adscope::alerts::rule_pack(),
+    );
+    alert_engine.publish(registry);
+
     let snap = registry.snapshot();
 
     // Per-stage wall-time table, one row per `*_duration_ns` histogram.
@@ -1124,6 +1134,25 @@ fn metrics(world: &mut World) -> String {
         ]);
     }
 
+    // Per-rule alert lifecycle over the same trace the stage tables
+    // describe: a steady RBN-2 replay should leave every rule idle.
+    let mut alerts_tbl = TextTable::new(
+        "Alerts (built-in rule pack)",
+        &["Rule", "Series", "Detector", "Severity", "Phase", "Events"],
+    );
+    let phases = alert_engine.phases();
+    for (i, rule) in alert_engine.rules().iter().enumerate() {
+        let events = alert_engine.events().iter().filter(|e| e.rule == i).count();
+        alerts_tbl.row(&[
+            rule.name.clone(),
+            rule.series.render(),
+            rule.detector.render(),
+            rule.severity.as_str().to_string(),
+            phases[i].as_str().to_string(),
+            fmt_count(events as u64),
+        ]);
+    }
+
     // Process-level gauges, refreshed at render time so the table and
     // the exposition artifact agree on the same reading.
     obs::record_process(registry);
@@ -1169,12 +1198,13 @@ fn metrics(world: &mut World) -> String {
 
     format!(
         "## Metrics — per-stage observability exposition\n\
-         {}\n{}\n{}\n{}\n\
+         {}\n{}\n{}\n{}\n{}\n\
          exposition: VALID ({samples} samples) -> {dir}/metrics.prom\n\
          event log:  VALID ({events} events)   -> {dir}/events.ndjson\n",
         stages.render(),
         counters.render(),
         engine_tbl.render(),
+        alerts_tbl.render(),
         process.render(),
         dir = dir.display(),
     )

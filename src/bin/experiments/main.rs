@@ -10,6 +10,8 @@
 //!                    [--checkpoint-dir D] [--resume] [--quarantine PATH] [...]
 //! experiments population [--scale ...] [--seed N] [--chunk-records N]
 //!                    [--out PATH] [--ndjson PATH] [--exact-check]
+//! experiments alerts [--scale ...] [--seed N] [--chunk-records N] [--delist N]
+//!                    [--out PATH] [--ndjson PATH] [--check]
 //!
 //! ids: table1 fig2 table2 fig3 fig4 table3 sec63 fig5a fig5b table4
 //!      fig6 sec73 sec81 table5 fig7 sensitivity validation robustness all
@@ -23,6 +25,7 @@
 //! matched rule and source list, referrer chain, content-type inference
 //! path — and exports the provenance NDJSON (see `explain.rs`).
 
+mod alerts;
 mod experiments;
 mod explain;
 mod manifest;
@@ -52,6 +55,7 @@ fn main() {
         Some("fetch") => serve::run_fetch(&args[1..]),
         Some("stream") => stream::run(&args[1..]),
         Some("population") => population::run(&args[1..]),
+        Some("alerts") => alerts::run(&args[1..]),
         Some("verify") => verify::run(&args[1..]),
         _ => {}
     }
@@ -209,6 +213,8 @@ fn usage(err: &str) -> ! {
          \x20          [--serve-port-file PATH] [--serve-linger] [--watchdog-ms N]\n\
          \x20      experiments population [--scale ...] [--seed N] [--chunk-records N]\n\
          \x20          [--out PATH] [--ndjson PATH] [--manifest PATH] [--exact-check]\n\
+         \x20      experiments alerts [--scale ...] [--seed N] [--chunk-records N] [--delist N]\n\
+         \x20          [--out PATH] [--ndjson PATH] [--manifest PATH] [--check]\n\
          \x20      experiments verify --manifest <path> [--scratch DIR] [--skip-replay]\n\
          ids: {} all",
         experiments::ALL_IDS.join(" ")

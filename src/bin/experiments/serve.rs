@@ -145,6 +145,21 @@ pub fn run_serve(args: &[String]) -> ! {
         }
     );
 
+    // Alert plane: evaluate the built-in rule pack over the replayed
+    // windows and publish the timeline, so `/alerts`, `/alerts/ndjson`,
+    // `/statusz`, and the `obs_alerts_*` metrics serve real data. A
+    // clean RBN-1 replay keeps every page-severity rule idle, so
+    // `/healthz` stays "ok" — the CI smoke gate checks exactly that.
+    let mut alerts =
+        adscope::alerts::evaluate(&data.classified.windows, adscope::alerts::rule_pack());
+    alerts.publish(registry);
+    eprintln!(
+        "[serve] alerts published: {} rules, {} events, {} firing",
+        alerts.rules().len(),
+        alerts.events().len(),
+        alerts.firing().len()
+    );
+
     // Optional slow-motion replay of the windowed series for dashboard
     // watching: re-publish the last-window gauges one window at a time.
     if pace > 0.0 {

@@ -112,7 +112,7 @@ pub fn run(args: &[String]) -> ! {
             // window pass, so `--width` is honored without a second
             // classification.
             let data = world.rbn1();
-            let windows = adscope::window::aggregate(&data.classified.requests, opts.window);
+            let windows = adscope::window::aggregate(&data.classified.requests, &[], opts.window);
             (data.classified.meta.clone(), windows)
         }
     };
